@@ -1,0 +1,69 @@
+// Ablation — counting notifications (paper Sec. III) vs k single-count
+// requests for a 16-way fan-in.
+//
+// A parent waiting for k children can use one request with
+// expected_count=k (one start/test cycle, matched counter accumulates) or
+// k separate single requests. Counting saves per-request call overheads
+// and matching passes — the paper's "bulk-notification optimization".
+#include "bench_util.hpp"
+
+using namespace narma;
+using namespace narma::bench;
+
+namespace {
+
+double fanin_us(bool counting, int children, int n) {
+  World world(children + 1, {});
+  std::vector<double> samples;
+  world.run([&](Rank& self) {
+    auto win = self.win_allocate(
+        static_cast<std::size_t>(children) * sizeof(double), sizeof(double));
+    const int parent = children;  // last rank
+    for (int r = 0; r < n + 1; ++r) {
+      self.barrier();
+      if (self.id() != parent) {
+        const double v = self.id();
+        self.na().put_notify(*win, &v, sizeof(double), parent,
+                             static_cast<std::uint64_t>(self.id()), 1);
+        win->flush(parent);
+      } else {
+        const Time t0 = self.now();
+        if (counting) {
+          auto req = self.na().notify_init(
+              *win, na::kAnySource, 1, static_cast<std::uint32_t>(children));
+          self.na().start(req);
+          self.na().wait(req);
+          self.na().free(req);
+        } else {
+          for (int c = 0; c < children; ++c) {
+            auto req = self.na().notify_init(*win, na::kAnySource, 1, 1);
+            self.na().start(req);
+            self.na().wait(req);
+            self.na().free(req);
+          }
+        }
+        if (r >= 1) samples.push_back(to_us(self.now() - t0));
+      }
+    }
+    self.barrier();
+  });
+  return samples.empty() ? 0.0 : stats::median(samples);
+}
+
+}  // namespace
+
+int main() {
+  const int n = reps(9);
+  header("Ablation", "counting notification vs k single requests (us)");
+
+  Table t({"children", "counting (1 req)", "k single reqs", "saving"});
+  for (int children : {2, 4, 8, 16, 32}) {
+    const double one = fanin_us(true, children, n);
+    const double many = fanin_us(false, children, n);
+    t.add_row({Table::fmt(static_cast<long long>(children)),
+               Table::fmt(one, 2), Table::fmt(many, 2),
+               Table::fmt(many - one, 2)});
+  }
+  t.print();
+  return 0;
+}

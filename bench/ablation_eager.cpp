@@ -1,0 +1,77 @@
+// Ablation — eager/rendezvous threshold of the message-passing baseline.
+//
+// Sweeps the one-way latency across sizes for several thresholds, exposing
+// the protocol crossover: below the threshold the receiver pays staging
+// copies; above it the RTS/CTS round trip. This is the baseline cost
+// structure Notified Access sidesteps entirely (zero copies, no handshake).
+#include "bench_util.hpp"
+
+using namespace narma;
+using namespace narma::bench;
+
+namespace {
+
+double one_way_us(std::size_t eager_threshold, std::size_t bytes, int n) {
+  WorldParams wp;
+  wp.mp.eager_threshold = eager_threshold;
+  World world(2, wp);
+  std::vector<double> samples;
+  Time t_issue = 0;  // sender timestamp; clocks are globally comparable
+  world.run([&](Rank& self) {
+    std::vector<std::byte> buf(bytes);
+    for (int r = 0; r < n + 2; ++r) {
+      self.barrier();
+      if (self.id() == 0) {
+        t_issue = self.now();
+        self.send(buf.data(), bytes, 1, 1);
+      } else {
+        self.recv(buf.data(), bytes, 0, 1);
+        if (r >= 2) samples.push_back(to_us(self.now() - t_issue));
+      }
+    }
+    self.barrier();
+  });
+  return stats::median(samples);
+}
+
+}  // namespace
+
+int main() {
+  const int n = reps(9);
+  header("Ablation", "MP eager/rendezvous crossover, one-way latency (us)");
+
+  const std::vector<std::size_t> thresholds{2048, 8192, 65536};
+  Table t({"size", "thr=2KiB", "thr=8KiB", "thr=64KiB", "NotifiedAccess"});
+  for (std::size_t s : fig3_sizes()) {
+    std::vector<std::string> row{fmt_bytes(s)};
+    for (std::size_t thr : thresholds)
+      row.push_back(Table::fmt(one_way_us(thr, s, n), 2));
+    // Reference: the NA one-way for the same size.
+    WorldParams wp;
+    World world(2, wp);
+    std::vector<double> na_samples;
+    Time t_na_issue = 0;
+    world.run([&](Rank& self) {
+      auto win = self.win_allocate(s + 16, 1);
+      std::vector<std::byte> snd(s, std::byte{1});
+      auto req = self.na().notify_init(*win, 0, 1, 1);
+      for (int r = 0; r < n + 2; ++r) {
+        self.barrier();
+        if (self.id() == 0) {
+          t_na_issue = self.now();
+          self.na().put_notify(*win, snd.data(), s, 1, 0, 1);
+          win->flush(1);
+        } else {
+          self.na().start(req);
+          self.na().wait(req);
+          if (r >= 2) na_samples.push_back(to_us(self.now() - t_na_issue));
+        }
+      }
+      self.barrier();
+    });
+    row.push_back(Table::fmt(stats::median(na_samples), 2));
+    t.add_row(std::move(row));
+  }
+  t.print();
+  return 0;
+}

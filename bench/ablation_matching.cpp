@@ -1,0 +1,85 @@
+// Ablation — matching cost vs unexpected-queue depth.
+//
+// The paper's related-work section argues the ordered matching queue
+// combines the strengths of counting and overwriting notifications; the
+// cost is a software scan. This harness parks N non-matching notifications
+// in the UQ and measures the virtual cost of a completing test that must
+// scan past them, plus the cache-line traffic of the scan.
+#include "bench_util.hpp"
+
+using namespace narma;
+using namespace narma::bench;
+
+namespace {
+
+struct Probe {
+  double test_us;
+  double uq_lines;
+};
+
+Probe measure(int parked) {
+  WorldParams wp;
+  World world(2, wp);
+  Probe out{};
+  world.run([&](Rank& self) {
+    auto win = self.win_allocate(64, 1);
+    if (self.id() == 0) {
+      self.barrier();
+      // `parked` notifications with tag 1 (never matched by the probe
+      // request), then one with tag 2.
+      for (int i = 0; i < parked; ++i)
+        self.na().put_notify(*win, nullptr, 0, 1, 0, 1);
+      self.na().put_notify(*win, nullptr, 0, 1, 0, 2);
+      win->flush(1);
+      self.barrier();
+      self.barrier();
+    } else {
+      self.barrier();
+      // Park the tag-1 notifications in the UQ by completing a tag-2
+      // request once.
+      {
+        auto r2 = self.na().notify_init(*win, 0, 2, 1);
+        self.na().start(r2);
+        self.na().wait(r2);
+      }
+      NARMA_CHECK(self.na().uq_size() == static_cast<std::size_t>(parked));
+      self.barrier();
+      // Now measure a completing test that must scan the full UQ: send one
+      // more tag-2 notification... instead reuse: a tag-1 request matches
+      // the UQ head immediately; measure a tag-1 request that matches the
+      // *last* entry by draining all but asymmetrically. Simplest faithful
+      // probe: a request for tag 3 (no match) scans everything and fails.
+      auto r3 = self.na().notify_init(*win, 0, 3, 1);
+      self.na().start(r3);
+      cachesim::Cache cache = cachesim::make_l1d();
+      cache.invalidate_all();
+      self.na().set_cache_model(&cache);
+      self.na().reset_cache_misses();
+      const Time a = self.now();
+      const bool done = self.na().test(r3);
+      out.test_us = to_us(self.now() - a);
+      out.uq_lines = static_cast<double>(self.na().cache_misses().uq);
+      self.na().set_cache_model(nullptr);
+      NARMA_CHECK(!done);
+      self.barrier();
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  header("Ablation", "matching cost vs unexpected-queue depth");
+  note("a non-matching test scans the whole UQ: cost grows linearly — the "
+       "price of queue semantics over plain counters");
+
+  Table t({"UQ depth", "test cost (us)", "UQ cache lines"});
+  for (int parked : {0, 1, 2, 4, 8, 16, 64, 256, 1024, 4096}) {
+    const Probe p = measure(parked);
+    t.add_row({Table::fmt(static_cast<long long>(parked)),
+               Table::fmt(p.test_us, 3), Table::fmt(p.uq_lines, 0)});
+  }
+  t.print();
+  return 0;
+}

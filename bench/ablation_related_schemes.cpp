@@ -1,0 +1,186 @@
+// Ablation — queue matching (Notified Access) vs the prior notification
+// schemes (paper Sec. VII, Related Work).
+//
+// Scenario: the paper's dataflow pattern — P producers send M buffers each
+// to one consumer in an order the consumer cannot predict; the consumer
+// must identify and process every buffer exactly once.
+//
+//  * NotifiedAccess — buffer id rides in the tag; one wildcard request;
+//    O(1) matching per completion, constant destination storage.
+//  * Overwriting (GASPI-style) — one slot per expected buffer (P*M slots of
+//    destination storage); the consumer scans the slot range on every
+//    completion.
+//  * Counting (Split-C/LAPI-style) — per-producer hardware counters say how
+//    many arrived but not which, so producers must additionally publish the
+//    buffer id into a per-producer sequence array (the extra transfer of
+//    the paper's one-sided ring-buffer Cholesky variant).
+#include "bench_util.hpp"
+#include "core/related_schemes.hpp"
+
+using namespace narma;
+using namespace narma::bench;
+using related::CountingNotifier;
+using related::OverwritingNotifier;
+
+namespace {
+
+enum class SchemeKind { kNotified, kOverwriting, kCounting };
+
+struct Result {
+  double consumer_us = 0;
+  std::uint64_t slots_scanned = 0;
+  std::uint64_t transfers = 0;
+};
+
+Result run(SchemeKind kind, int producers, int msgs, std::size_t bytes) {
+  World world(producers + 1, {});
+  Result res;
+  world.run([&](Rank& self) {
+    const int consumer = producers;
+    const std::uint32_t total =
+        static_cast<std::uint32_t>(producers * msgs);
+    auto data_win = self.win_allocate(total * bytes, 1);
+    // Counting scheme: per-producer sequence arrays of buffer ids.
+    auto seq_win = self.win_allocate(
+        total * sizeof(std::int64_t), sizeof(std::int64_t));
+    OverwritingNotifier over(self, total);
+    CountingNotifier cnt(self,
+                         static_cast<std::uint32_t>(producers));
+
+    std::vector<std::byte> payload(bytes, std::byte{1});
+    std::deque<std::int64_t> id_stage;
+
+    self.barrier();
+    if (self.id() == 0) self.world().fabric().reset_counters();
+    self.barrier();
+    const Time t0 = self.now();
+
+    if (self.id() != consumer) {
+      const int p = self.id();
+      for (int m = 0; m < msgs; ++m) {
+        const std::uint32_t id =
+            static_cast<std::uint32_t>(p * msgs + m);
+        const std::uint64_t disp = static_cast<std::uint64_t>(id) * bytes;
+        switch (kind) {
+          case SchemeKind::kNotified:
+            self.na().put_notify(*data_win, payload.data(), bytes, consumer,
+                                 disp, static_cast<int>(id));
+            break;
+          case SchemeKind::kOverwriting:
+            over.notify_put(*data_win, payload.data(), bytes, consumer, disp,
+                            id, static_cast<std::int64_t>(id) + 1);
+            break;
+          case SchemeKind::kCounting: {
+            // Data put, then the id into this producer's sequence array,
+            // counted by the hardware counter (both ordered on the channel).
+            data_win->put(payload.data(), bytes, consumer, disp);
+            id_stage.push_back(static_cast<std::int64_t>(id));
+            cnt.signaling_put(
+                *seq_win, &id_stage.back(), sizeof(std::int64_t), consumer,
+                static_cast<std::uint64_t>(p * msgs + m),
+                static_cast<std::uint32_t>(p));
+            break;
+          }
+        }
+      }
+      data_win->flush(consumer);
+      seq_win->flush(consumer);
+      over.flush(consumer);
+    } else {
+      std::vector<char> seen(total, 0);
+      std::vector<std::int64_t> consumed_per_producer(
+          static_cast<std::size_t>(producers), 0);
+      auto mark = [&](std::uint32_t id) {
+        NARMA_CHECK(id < total && !seen[id]) << "duplicate/invalid id " << id;
+        seen[id] = 1;
+      };
+      switch (kind) {
+        case SchemeKind::kNotified: {
+          auto req = self.na().notify_init(*data_win, na::kAnySource,
+                                           na::kAnyTag, 1);
+          for (std::uint32_t i = 0; i < total; ++i) {
+            self.na().start(req);
+            na::NaStatus st;
+            self.na().wait(req, &st);
+            mark(static_cast<std::uint32_t>(st.tag));
+          }
+          break;
+        }
+        case SchemeKind::kOverwriting:
+          for (std::uint32_t i = 0; i < total; ++i) {
+            const auto hit = over.wait_any_slot(0, total);
+            mark(static_cast<std::uint32_t>(hit.value - 1));
+          }
+          res.slots_scanned = over.slots_scanned();
+          break;
+        case SchemeKind::kCounting: {
+          auto seq = seq_win->local<std::int64_t>();
+          // Poll the per-producer counters round-robin; consume ids in each
+          // producer's sequence order.
+          std::uint32_t done = 0;
+          while (done < total) {
+            bool progressed = false;
+            for (int p = 0; p < producers; ++p) {
+              const auto have = cnt.count(static_cast<std::uint32_t>(p));
+              auto& used = consumed_per_producer[static_cast<std::size_t>(p)];
+              while (used < have) {
+                mark(static_cast<std::uint32_t>(
+                    seq[static_cast<std::size_t>(p * msgs) +
+                        static_cast<std::size_t>(used)]));
+                ++used;
+                ++done;
+                progressed = true;
+              }
+            }
+            if (!progressed && done < total)
+              self.ctx().yield_until(self.now() + ns(200), "cnt-poll");
+            self.ctx().drain();
+          }
+          break;
+        }
+      }
+      for (char s : seen) NARMA_CHECK(s) << "lost a buffer";
+      res.consumer_us = to_us(self.now() - t0);
+    }
+    self.barrier();
+    if (self.id() == 0)
+      res.transfers = self.world().fabric().counters().data_transfers +
+                      self.world().fabric().counters().notifications;
+  });
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  header("Ablation",
+         "notification schemes on the dataflow pattern (paper Sec. VII)");
+  const int msgs = static_cast<int>(env::get_int("NARMA_MSGS", 16));
+  const std::size_t bytes = 1024;
+  note("P producers x " + std::to_string(msgs) +
+       " buffers of 1 KiB to one consumer; consumer must identify each");
+
+  Table t({"producers", "NotifiedAccess (us)", "Overwriting (us)",
+           "slot scans", "Counting (us)", "NA/Ov/Ct transfers"});
+  for (int p : {1, 2, 4, 8, 16}) {
+    const Result na = run(SchemeKind::kNotified, p, msgs, bytes);
+    const Result ov = run(SchemeKind::kOverwriting, p, msgs, bytes);
+    const Result ct = run(SchemeKind::kCounting, p, msgs, bytes);
+    t.add_row({Table::fmt(static_cast<long long>(p)),
+               Table::fmt(na.consumer_us, 1), Table::fmt(ov.consumer_us, 1),
+               Table::fmt(static_cast<std::size_t>(ov.slots_scanned)),
+               Table::fmt(ct.consumer_us, 1),
+               Table::fmt(static_cast<std::size_t>(na.transfers)) + "/" +
+                   Table::fmt(static_cast<std::size_t>(ov.transfers)) + "/" +
+                   Table::fmt(static_cast<std::size_t>(ct.transfers))});
+  }
+  t.print();
+  note("overwriting scans P*M destination slots per completion; counting "
+       "is cheap at the consumer but (a) moves twice the transfers (data + "
+       "id) and (b) relies on statically pre-partitioned per-producer id "
+       "arrays — with a dynamic producer set it degenerates to the "
+       "CAS-ring scheme measured as 'OneSided' in Figure 5. The matching "
+       "queue gets identity, arrival order, and constant storage in one "
+       "transfer.");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Every bench binary prints: a header naming the paper artifact it
+// regenerates, the fixed parameters, and one plain-text table whose rows
+// mirror the paper's series. Repetition counts and problem sizes accept
+// environment overrides (NARMA_REPS, NARMA_SCALE) so the full suite can be
+// shrunk for smoke runs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "narma/narma.hpp"
+
+namespace narma::bench {
+
+inline int reps(int fallback) {
+  return static_cast<int>(env::get_int("NARMA_REPS", fallback));
+}
+
+/// Global problem-size multiplier (1.0 = paper-shaped defaults).
+inline double scale() { return env::get_double("NARMA_SCALE", 1.0); }
+
+inline void header(const char* artifact, const char* what) {
+  std::printf("\n=== %s — %s ===\n", artifact, what);
+}
+
+inline void note(const std::string& s) { std::printf("%s\n", s.c_str()); }
+
+/// Formats a byte count the way the paper's axes do.
+inline std::string fmt_bytes(std::size_t b) {
+  if (b >= 1024 * 1024)
+    return std::to_string(b / (1024 * 1024)) + "MiB";
+  if (b >= 1024) return std::to_string(b / 1024) + "KiB";
+  return std::to_string(b) + "B";
+}
+
+/// The standard message-size sweep of Fig. 3 (8 B to 512 KiB).
+inline std::vector<std::size_t> fig3_sizes() {
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = 8; s <= (512u << 10); s <<= 2) sizes.push_back(s);
+  return sizes;
+}
+
+}  // namespace narma::bench

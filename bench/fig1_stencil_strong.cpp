@@ -1,0 +1,76 @@
+// Figure 1 — strong-scaling pipelined stencil (PRK Sync_p2p), GMOPS.
+//
+// Fixed domain (paper: 1280 x 12800), ranks swept; series: Message Passing,
+// One Sided fence, One Sided PSCW, Notified Access. Paper result: NA
+// consistently outperforms message passing by more than 1.4x on 32
+// processes; plain One Sided schemes trail message passing.
+//
+// NARMA_SCALE shrinks the domain for smoke runs (default 1.0 = paper size).
+#include "apps/stencil.hpp"
+#include "bench_util.hpp"
+
+using namespace narma;
+using namespace narma::apps;
+using namespace narma::bench;
+
+int main() {
+  const double sc = scale();
+  const int rows = std::max(32, static_cast<int>(1280 * sc));
+  const int cols = std::max(64, static_cast<int>(12800 * sc));
+  const int iters = static_cast<int>(env::get_int("NARMA_ITERS", 2));
+  const int n = reps(3);
+
+  header("Figure 1", "strong-scaling pipelined stencil (GMOPS, higher=better)");
+  note("domain " + std::to_string(rows) + " x " + std::to_string(cols) +
+       ", " + std::to_string(iters) + " iterations, mean of " +
+       std::to_string(n) + " runs");
+
+  const std::vector<StencilVariant> variants{
+      StencilVariant::kMessagePassing, StencilVariant::kFence,
+      StencilVariant::kPscw, StencilVariant::kNotified};
+
+  // Calibrated compute charge keeps the virtual timings deterministic.
+  const Time per_point = calibrate_stencil_point();
+  note("calibrated compute: " + Table::fmt(to_ns(per_point), 2) +
+       " ns/point");
+
+  Table t({"ranks", "MsgPassing", "OS-Fence", "OS-PSCW", "NotifiedAccess",
+           "NA/MP", "verified"});
+  for (int ranks : {2, 4, 8, 16, 32}) {
+    std::vector<std::string> row{Table::fmt(static_cast<long long>(ranks))};
+    double mp_g = 0, na_g = 0;
+    bool all_ok = true;
+    for (StencilVariant v : variants) {
+      std::vector<double> gs;
+      for (int r = 0; r < n; ++r) {
+        World world(ranks);
+        double g = 0;
+        bool ok = false;
+        world.run([&](Rank& self) {
+          StencilConfig cfg;
+          cfg.rows = rows;
+          cfg.total_cols = cols;
+          cfg.iters = iters;
+          cfg.variant = v;
+          cfg.per_point = per_point;
+          const auto res = run_stencil(self, cfg);
+          if (self.id() == 0) {
+            g = res.gmops;
+            ok = res.verified;
+          }
+        });
+        gs.push_back(g);
+        all_ok = all_ok && ok;
+      }
+      const double mean = stats::mean(gs);
+      row.push_back(Table::fmt(mean, 4));
+      if (v == StencilVariant::kMessagePassing) mp_g = mean;
+      if (v == StencilVariant::kNotified) na_g = mean;
+    }
+    row.push_back(Table::fmt(na_g / mp_g, 2));
+    row.push_back(all_ok ? "yes" : "NO");
+    t.add_row(std::move(row));
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 3b — get ping-pong latency vs message size (inter-node).
+//
+// Series: Message Passing (single transfer, an inherent advantage over the
+// request/response get), MPI One Sided get under PSCW, and notified get.
+#include "bench_util.hpp"
+#include "pingpong.hpp"
+
+using namespace narma;
+using namespace narma::bench;
+
+int main() {
+  header("Figure 3b", "get ping-pong latency, inter-node (half RTT, us)");
+  const int n = reps(25);
+  note("median of " + std::to_string(n) +
+       " reps; message passing is a single transfer and thus has a "
+       "structural advantage over request/response gets");
+
+  Table t({"size", "MsgPassing", "OneSidedGet", "NotifiedGet", "NG/OSG"});
+  for (std::size_t s : fig3_sizes()) {
+    WorldParams wp;
+    const double mp =
+        pingpong_half_rtt_us(wp, s, PpScheme::kMessagePassing, n);
+    const double osg =
+        pingpong_half_rtt_us(wp, s, PpScheme::kOneSidedGetPscw, n);
+    const double ng = pingpong_half_rtt_us(wp, s, PpScheme::kNotifiedGet, n);
+    t.add_row({fmt_bytes(s), Table::fmt(mp), Table::fmt(osg), Table::fmt(ng),
+               Table::fmt(ng / osg, 2)});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 4c — 16-ary tree reduction, small-message latencies.
+//
+// Series: Message Passing, One Sided PSCW, Notified Access (one *counting*
+// request per parent covering all children), and the tuned binomial
+// "vendor" reduce. Paper result: for latency-bound small messages Notified
+// Access wins, even against the vendor-optimized reduction.
+#include "apps/tree.hpp"
+#include "bench_util.hpp"
+
+using namespace narma;
+using namespace narma::apps;
+using namespace narma::bench;
+
+int main() {
+  const int n = reps(5);
+  header("Figure 4c", "16-ary tree reduction time (us per reduction)");
+  note("mean of " + std::to_string(n) + " timed reductions per cell");
+
+  const std::vector<TreeVariant> variants{
+      TreeVariant::kMessagePassing, TreeVariant::kPscw,
+      TreeVariant::kNotified, TreeVariant::kVendorReduce};
+
+  for (std::size_t elems : {1u, 8u, 64u, 128u}) {
+    Table t({"ranks", "MsgPassing", "OS-PSCW", "NotifiedAccess",
+             "VendorReduce", "NA/MP"});
+    std::printf("\n-- message size %zu B --\n", elems * sizeof(double));
+    for (int ranks : {17, 64, 128, 256}) {
+      std::vector<std::string> row{Table::fmt(static_cast<long long>(ranks))};
+      double mp_t = 0, na_t = 0;
+      for (TreeVariant v : variants) {
+        World world(ranks);
+        double us_per_op = 0;
+        world.run([&](Rank& self) {
+          TreeConfig cfg;
+          cfg.elems = elems;
+          cfg.arity = 16;
+          cfg.reps = n;
+          cfg.variant = v;
+          const auto res = run_tree(self, cfg);
+          if (self.id() == 0) {
+            NARMA_CHECK(res.verified) << "tree sum verification failed";
+            us_per_op = res.per_op_us;
+          }
+        });
+        row.push_back(Table::fmt(us_per_op, 2));
+        if (v == TreeVariant::kMessagePassing) mp_t = us_per_op;
+        if (v == TreeVariant::kNotified) na_t = us_per_op;
+      }
+      row.push_back(Table::fmt(na_t / mp_t, 2));
+      t.add_row(std::move(row));
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 5 — weak-scaling task-based Cholesky factorization with 32 x 32
+// double tiles (8 KB transfers, the paper's configuration: "an extreme
+// case of a very small computation per process").
+//
+// Series: Message Passing (probe + recv on tag-encoded coordinates), One
+// Sided (ring buffer + fetch_and_op + flush + coordinate put), Notified
+// Access (coordinate in the notification tag). Paper result: up to 2x
+// speedup of NA over Message Passing; One Sided trails both.
+#include "apps/cholesky.hpp"
+#include "bench_util.hpp"
+
+using namespace narma;
+using namespace narma::apps;
+using namespace narma::bench;
+
+int main() {
+  const int n = reps(2);
+  const int cols_per_rank =
+      static_cast<int>(env::get_int("NARMA_CHOL_COLS", 3));
+  const int b = static_cast<int>(env::get_int("NARMA_CHOL_B", 32));
+  // Kernel rate of the paper's testbed class (tuned BLAS on a Xeon E5
+  // core); keeps the compute/communication balance of Fig. 5 independent of
+  // this host's naive kernels.
+  const double gflops = env::get_double("NARMA_CHOL_GFLOPS", 10.0);
+
+  header("Figure 5", "weak-scaling task Cholesky (total time, ms; mean ± "
+                     "99% CI)");
+  note("tiles " + std::to_string(b) + "x" + std::to_string(b) +
+       " doubles (" + std::to_string(b * b * 8 / 1024) +
+       " KB transfers), " + std::to_string(cols_per_rank) +
+       " tile columns per rank, " + std::to_string(n) + " runs");
+
+  const std::vector<CholeskyVariant> variants{
+      CholeskyVariant::kMessagePassing, CholeskyVariant::kOneSided,
+      CholeskyVariant::kNotified};
+
+  Table t({"ranks", "tiles", "MsgPassing", "OneSided", "NotifiedAccess",
+           "MP/NA", "residual ok"});
+  for (int ranks : {2, 4, 8, 16}) {
+    const int nt = cols_per_rank * ranks;
+    std::vector<std::string> row{Table::fmt(static_cast<long long>(ranks)),
+                                 std::to_string(nt) + "x" +
+                                     std::to_string(nt)};
+    double mp_t = 0, na_t = 0;
+    bool all_ok = true;
+    for (CholeskyVariant v : variants) {
+      std::vector<double> times;
+      for (int r = 0; r < n; ++r) {
+        World world(ranks);
+        double ms_elapsed = 0;
+        bool ok = false;
+        world.run([&](Rank& self) {
+          CholeskyConfig cfg;
+          cfg.nt = nt;
+          cfg.b = b;
+          cfg.variant = v;
+          cfg.model_gflops = gflops;
+          cfg.verify = r == 0;  // residual check once per cell
+          const auto res = run_cholesky(self, cfg);
+          if (self.id() == 0) {
+            ms_elapsed = to_ms(res.elapsed);
+            ok = !cfg.verify || res.verified;
+          }
+        });
+        times.push_back(ms_elapsed);
+        all_ok = all_ok && ok;
+      }
+      const double mean = stats::mean(times);
+      const double ci = stats::ci_halfwidth(times, 0.99);
+      row.push_back(Table::fmt(mean, 2) + "±" + Table::fmt(ci, 2));
+      if (v == CholeskyVariant::kMessagePassing) mp_t = mean;
+      if (v == CholeskyVariant::kNotified) na_t = mean;
+    }
+    row.push_back(Table::fmt(mp_t / na_t, 2));
+    row.push_back(all_ok ? "yes" : "NO");
+    t.add_row(std::move(row));
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,180 @@
+// Ping-pong kernels shared by the Fig. 3 latency benchmarks.
+//
+// Each scheme mirrors the code the paper shows: Listing 1 for Notified
+// Access, the Sec. V snippets for message passing, general active target
+// (PSCW) and the illegal-but-instructive unsynchronized busy-wait lower
+// bound. The client measures full round-trip times on its virtual clock;
+// the reported latency is RTT/2 (median over repetitions), as in the paper.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "narma/narma.hpp"
+
+namespace narma::bench {
+
+enum class PpScheme {
+  kMessagePassing,
+  kOneSidedPscw,   // general active target; fence performs identically on
+                   // two processes (paper Sec. V-A), so one curve is shown
+  kNotifiedPut,
+  kOneSidedGetPscw,
+  kNotifiedGet,
+  kUnsynchronized,  // busy-wait lower bound; not a legal program
+};
+
+inline const char* to_string(PpScheme s) {
+  switch (s) {
+    case PpScheme::kMessagePassing: return "MsgPassing";
+    case PpScheme::kOneSidedPscw: return "OneSided";
+    case PpScheme::kNotifiedPut: return "NotifiedAccess";
+    case PpScheme::kOneSidedGetPscw: return "OneSidedGet";
+    case PpScheme::kNotifiedGet: return "NotifiedGet";
+    case PpScheme::kUnsynchronized: return "Unsynchronized";
+  }
+  return "?";
+}
+
+/// Runs a 2-rank ping-pong of `bytes` and returns the median half-RTT in
+/// microseconds (client-side virtual time).
+inline double pingpong_half_rtt_us(WorldParams wp, std::size_t bytes,
+                                   PpScheme scheme, int reps,
+                                   int warmup = 3) {
+  constexpr int kTag = 99;  // Listing 1's customTag
+  World world(2, wp);
+  std::vector<double> samples;
+
+  world.run([&](Rank& self) {
+    const int me = self.id();
+    const int partner = 1 - me;
+    const bool client = me == 0;
+    // Window layout as in Listing 1: ping area at displacement 0, pong
+    // area at displacement `bytes` (all displacements in bytes here).
+    auto win = self.win_allocate(2 * bytes + 16, 1);
+    std::vector<std::byte> snd(bytes + 16, std::byte{1});
+
+    na::NotifyRequest req =
+        self.na().notify_init(*win, partner, kTag, 1);
+
+    auto iteration = [&] {
+      switch (scheme) {
+        case PpScheme::kMessagePassing:
+          if (client) {
+            self.send(snd.data(), bytes, partner, kTag);
+            self.recv(snd.data(), bytes, partner, kTag);
+          } else {
+            self.recv(snd.data(), bytes, partner, kTag);
+            self.send(snd.data(), bytes, partner, kTag);
+          }
+          break;
+
+        case PpScheme::kOneSidedPscw: {
+          std::array<int, 1> grp{partner};
+          if (client) {
+            win->start(grp);
+            win->put(snd.data(), bytes, partner, 0);
+            win->complete();
+            win->post(grp);
+            win->wait();
+          } else {
+            win->post(grp);
+            win->wait();
+            win->start(grp);
+            win->put(snd.data(), bytes, partner, bytes);
+            win->complete();
+          }
+          break;
+        }
+
+        case PpScheme::kNotifiedPut:  // Listing 1
+          if (client) {
+            self.na().put_notify(*win, snd.data(), bytes, partner, 0, kTag);
+            win->flush(partner);
+            self.na().start(req);
+            self.na().wait(req);
+          } else {
+            self.na().start(req);
+            self.na().wait(req);
+            self.na().put_notify(*win, snd.data(), bytes, partner, bytes,
+                                 kTag);
+            win->flush(partner);
+          }
+          break;
+
+        case PpScheme::kOneSidedGetPscw: {
+          std::array<int, 1> grp{partner};
+          if (client) {
+            win->start(grp);
+            win->get(snd.data(), bytes, partner, 0);
+            win->complete();
+            win->post(grp);
+            win->wait();
+          } else {
+            win->post(grp);
+            win->wait();
+            win->start(grp);
+            win->get(snd.data(), bytes, partner, bytes);
+            win->complete();
+          }
+          break;
+        }
+
+        case PpScheme::kNotifiedGet:
+          if (client) {
+            self.na().get_notify(*win, snd.data(), bytes, partner, 0, kTag);
+            win->flush(partner);
+            self.na().start(req);
+            self.na().wait(req);  // partner read our half back
+          } else {
+            self.na().start(req);
+            self.na().wait(req);  // our buffer was read; now pull theirs
+            self.na().get_notify(*win, snd.data(), bytes, partner, bytes,
+                                 kTag);
+            win->flush(partner);
+          }
+          break;
+
+        case PpScheme::kUnsynchronized: {
+          // The paper's illegal busy-wait benchmark: mark first and last
+          // byte of the receive area, put, flush, spin until overwritten.
+          auto* mem = static_cast<std::byte*>(win->base());
+          const std::size_t roff = client ? bytes : 0;  // where I receive
+          const std::size_t toff = client ? 0 : bytes;  // where I put
+          constexpr std::byte kMark{0xEE};
+          auto spin = [&] {
+            while (mem[roff] == kMark || mem[roff + bytes - 1] == kMark)
+              self.ctx().yield_until(self.now() + ns(50), "busy-wait");
+          };
+          mem[roff] = mem[roff + bytes - 1] = kMark;
+          if (client) {
+            win->put(snd.data(), bytes, partner, toff);
+            win->flush(partner);
+            spin();
+          } else {
+            spin();
+            win->put(snd.data(), bytes, partner, toff);
+            win->flush(partner);
+          }
+          break;
+        }
+      }
+    };
+
+    for (int w = 0; w < warmup; ++w) {
+      self.barrier();
+      iteration();
+    }
+    for (int r = 0; r < reps; ++r) {
+      self.barrier();
+      const Time t0 = self.now();
+      iteration();
+      if (client) samples.push_back(to_us(self.now() - t0) / 2.0);
+    }
+    self.barrier();
+  });
+
+  return stats::median(samples);
+}
+
+}  // namespace narma::bench

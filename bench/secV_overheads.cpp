@@ -1,0 +1,86 @@
+// Section V-A — call-overhead model of Notified Access.
+//
+// Reproduces the paper's measured per-call costs by timing each call on the
+// virtual clock: t_init (MPI_Notify_init), t_free (MPI_Request_free),
+// t_start (MPI_Start), t_na (issuing a put_notify), and the receive
+// overhead o_r of a completing test. The numbers are configuration
+// parameters of the simulator, so this benchmark both documents them and
+// verifies that the implementation charges them exactly once per call.
+#include "bench_util.hpp"
+
+using namespace narma;
+using namespace narma::bench;
+
+int main() {
+  header("Section V-A", "Notified Access call overheads (us)");
+
+  WorldParams wp;
+  World world(2, wp);
+  double t_init = 0, t_free = 0, t_start = 0, t_na = 0, o_r = 0;
+
+  world.run([&](Rank& self) {
+    auto win = self.win_allocate(4096, 1);
+    constexpr int kIters = 1000;
+
+    if (self.id() == 0) {
+      // t_init / t_free: init-free cycles.
+      {
+        const Time a = self.now();
+        std::vector<na::NotifyRequest> reqs;
+        reqs.reserve(kIters);
+        for (int i = 0; i < kIters; ++i)
+          reqs.push_back(self.na().notify_init(*win, 1, 1, 1));
+        const Time b = self.now();
+        for (auto& r : reqs) self.na().free(r);
+        const Time c = self.now();
+        t_init = to_us(b - a) / kIters;
+        t_free = to_us(c - b) / kIters;
+      }
+      // t_start.
+      {
+        auto req = self.na().notify_init(*win, 1, 1, 1);
+        const Time a = self.now();
+        for (int i = 0; i < kIters; ++i) self.na().start(req);
+        t_start = to_us(self.now() - a) / kIters;
+      }
+      // t_na: issue cost of put_notify (nonblocking; flush afterwards).
+      {
+        double v = 1.0;
+        const Time a = self.now();
+        for (int i = 0; i < kIters; ++i)
+          self.na().put_notify(*win, &v, 8, 1, 0, 2);
+        t_na = to_us(self.now() - a) / kIters;
+        win->flush(1);
+      }
+    } else {
+      // o_r: completing-test overhead with the notification already there.
+      auto req = self.na().notify_init(*win, 0, 2, 1);
+      self.nic().wait_until([&] { return !self.nic().dest_cq().empty(); },
+                            "first-arrival");
+      // Let all notifications arrive so each test completes immediately.
+      self.ctx().yield_until(self.now() + ms(2), "settle");
+      std::vector<double> per_test;
+      for (int i = 0; i < kIters; ++i) {
+        self.na().start(req);
+        const Time a = self.now();
+        const bool ok = self.na().test(req);
+        const Time b = self.now();
+        NARMA_CHECK(ok) << "notification should be immediately available";
+        per_test.push_back(to_us(b - a));
+      }
+      // Subtract the per-entry CQ poll (hardware-queue cost the paper does
+      // not count towards o_r).
+      o_r = stats::median(per_test) - to_us(wp.na.cq_poll);
+    }
+    self.barrier();
+  });
+
+  Table t({"call", "measured (us)", "paper (us)"});
+  t.add_row({"MPI_Notify_init (t_init)", Table::fmt(t_init, 3), "0.070"});
+  t.add_row({"MPI_Request_free (t_free)", Table::fmt(t_free, 3), "0.040"});
+  t.add_row({"MPI_Start (t_start)", Table::fmt(t_start, 3), "0.008"});
+  t.add_row({"MPI_Put_notify issue (t_na=o_s)", Table::fmt(t_na, 3), "0.290"});
+  t.add_row({"completing test/wait (o_r)", Table::fmt(o_r, 3), "0.070"});
+  t.print();
+  return 0;
+}

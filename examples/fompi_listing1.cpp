@@ -1,0 +1,71 @@
+// Listing 1 of the paper, ported through the foMPI-NA compatibility shim —
+// the code is a near-verbatim transcription of the published ping-pong.
+#include <cstdio>
+
+#include "core/fompi.hpp"
+#include "narma/narma.hpp"
+
+using namespace narma::fompi;
+
+namespace {
+constexpr int kMaxSize = 2048;  // doubles
+
+void pingpong(narma::Rank& self) {
+  bind(self);
+
+  foMPI_Win win;
+  foMPI_Request notification_request;
+  foMPI_Status notification_status;
+  const std::size_t win_size = 2 * kMaxSize * sizeof(double);
+  double* buf;
+  int my_rank;
+
+  foMPI_Win_allocate(win_size, sizeof(double),
+                     reinterpret_cast<void**>(&buf), &win);
+  foMPI_Comm_rank(&my_rank);
+  const int client_rank = 0;
+  const int partner_rank = 1 - my_rank;
+
+  /* initialize notification request */
+  const int customTag = 99;
+  const std::uint32_t expected_count = 1;
+  foMPI_Notify_init(win, partner_rank, customTag, expected_count,
+                    &notification_request);
+
+  for (int size = 8; size < kMaxSize; size *= 2) {
+    const double t0 = foMPI_Wtime();
+    if (my_rank == client_rank) {
+      /* send ping */
+      foMPI_Put_notify(buf, size, FOMPI_DOUBLE, partner_rank, 0, size,
+                       FOMPI_DOUBLE, win, customTag);
+      foMPI_Win_flush(partner_rank, win);
+      /* wait for pong */
+      foMPI_Start(&notification_request);
+      foMPI_Wait(&notification_request, &notification_status);
+      std::printf("%5d doubles  rtt %8.3f us  (pong from rank %d, tag %d)\n",
+                  size, (foMPI_Wtime() - t0) * 1e6,
+                  notification_status.source, notification_status.tag);
+    } else { /* server */
+      /* wait for ping */
+      foMPI_Start(&notification_request);
+      foMPI_Wait(&notification_request, &notification_status);
+      /* send pong */
+      foMPI_Put_notify(buf, size, FOMPI_DOUBLE, partner_rank, kMaxSize, size,
+                       FOMPI_DOUBLE, win, customTag);
+      foMPI_Win_flush(partner_rank, win);
+    }
+  } /* end of iterations */
+
+  foMPI_Request_free(&notification_request);
+  foMPI_Win_free(&win);
+  unbind();
+}
+
+}  // namespace
+
+int main() {
+  narma::World world(2);
+  world.run(pingpong);
+  std::printf("fompi_listing1: ok\n");
+  return 0;
+}

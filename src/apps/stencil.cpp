@@ -1,0 +1,307 @@
+#include "apps/stencil.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+namespace narma::apps {
+
+namespace {
+
+constexpr int kGhostTag = 1;     // per-row boundary value
+constexpr int kFeedbackTag = 2;  // corner feedback, last rank -> rank 0
+
+/// Column split: first (total % n) ranks get one extra column.
+int width_of(int total_cols, int nranks, int rank) {
+  return total_cols / nranks + (rank < total_cols % nranks ? 1 : 0);
+}
+
+int global_start(int total_cols, int nranks, int rank) {
+  int s = 0;
+  for (int p = 0; p < rank; ++p) s += width_of(total_cols, nranks, p);
+  return s;
+}
+
+/// Local grid of one rank: rows x (width + 1); local column 0 is the ghost
+/// (left neighbor's last column), local columns 1..width are this rank's
+/// global columns gs..gs+width-1.
+class LocalGrid {
+ public:
+  LocalGrid(int rows, int width, int gs)
+      : rows_(rows), width_(width), gs_(gs),
+        data_(static_cast<std::size_t>(rows) *
+              static_cast<std::size_t>(width + 1)) {
+    reset();
+  }
+
+  void reset() {
+    std::fill(data_.begin(), data_.end(), 0.0);
+    // Row 0 carries the global column index (including the ghost).
+    for (int j = 0; j <= width_; ++j) at(0, j) = gs_ - 1 + j;
+    // Rank 0's leftmost real column is the i-boundary.
+    if (gs_ == 0)
+      for (int i = 0; i < rows_; ++i) at(i, 1) = i;
+  }
+
+  double& at(int r, int j) {
+    return data_[static_cast<std::size_t>(r) * (width_ + 1) +
+                 static_cast<std::size_t>(j)];
+  }
+
+  /// Updates row r over local columns [jstart, width]: the PRK recurrence.
+  void update_row(int r, int jstart) {
+    double* cur = &at(r, 0);
+    double* prev = &at(r - 1, 0);
+    for (int j = jstart; j <= width_; ++j)
+      cur[j] = prev[j] + cur[j - 1] - prev[j - 1];
+  }
+
+  double* raw() { return data_.data(); }
+  std::size_t bytes() const { return data_.size() * sizeof(double); }
+  /// Byte displacement (in doubles) of (r, j) — used as put target disp.
+  std::uint64_t disp(int r, int j) const {
+    return static_cast<std::uint64_t>(r) * (width_ + 1) +
+           static_cast<std::uint64_t>(j);
+  }
+
+  int rows() const { return rows_; }
+  int width() const { return width_; }
+
+ private:
+  int rows_;
+  int width_;
+  int gs_;
+  std::vector<double> data_;
+};
+
+struct Topo {
+  int p, n, left, right, last;
+  bool first_rank, last_rank;
+  int jstart;  // first computed local column
+};
+
+Topo topo_of(Rank& self, const StencilConfig& cfg) {
+  Topo t;
+  t.p = self.id();
+  t.n = self.size();
+  t.left = t.p - 1;
+  t.right = t.p + 1;
+  t.last = t.n - 1;
+  t.first_rank = t.p == 0;
+  t.last_rank = t.p == t.n - 1;
+  t.jstart = t.first_rank ? 2 : 1;
+  (void)cfg;
+  return t;
+}
+
+}  // namespace
+
+Time calibrate_stencil_point() {
+  constexpr int kRows = 64, kCols = 4096;
+  LocalGrid g(kRows, kCols, 0);
+  const std::uint64_t t0 = wallclock_ns();
+  for (int r = 1; r < kRows; ++r) g.update_row(r, 2);
+  const std::uint64_t t1 = wallclock_ns();
+  const double per_point =
+      static_cast<double>(t1 - t0) / ((kRows - 1.0) * (kCols - 1.0));
+  return ns(per_point);
+}
+
+StencilResult run_stencil(Rank& self, const StencilConfig& cfg) {
+  const Topo t = topo_of(self, cfg);
+  NARMA_CHECK(cfg.rows >= 2 && cfg.total_cols >= 2);
+  NARMA_CHECK(width_of(cfg.total_cols, t.n, 0) >= 2)
+      << "rank 0 needs at least two columns (boundary + one computed)";
+  NARMA_CHECK(width_of(cfg.total_cols, t.n, t.p) >= 1)
+      << "more ranks than columns";
+
+  const int W = width_of(cfg.total_cols, t.n, t.p);
+  const int gs = global_start(cfg.total_cols, t.n, t.p);
+  LocalGrid g(cfg.rows, W, gs);
+
+  // Every variant registers the whole local grid as a window; only the RMA
+  // variants actually use it, but creating it uniformly keeps window ids
+  // collective.
+  auto win = self.rma().create(g.raw(), g.bytes(), sizeof(double));
+
+  // Width of the right neighbor, needed to compute the target displacement
+  // of its ghost cells.
+  const int right_w =
+      t.last_rank ? 0 : width_of(cfg.total_cols, t.n, t.right);
+  auto right_ghost_disp = [right_w](int r) {
+    return static_cast<std::uint64_t>(r) *
+           static_cast<std::uint64_t>(right_w + 1);
+  };
+  // Rank 0's corner A(0,0) lives at local (0, 1).
+  const std::uint64_t corner_disp = 1;
+  const int w0 = width_of(cfg.total_cols, t.n, 0);
+  (void)w0;
+
+  // Persistent notification requests for the NA variant.
+  na::NotifyRequest req_ghost, req_feedback;
+  if (cfg.variant == StencilVariant::kNotified) {
+    if (!t.first_rank)
+      req_ghost = self.na().notify_init(*win, t.left, kGhostTag, 1);
+    if (t.first_rank && t.n > 1)
+      req_feedback = self.na().notify_init(*win, t.last, kFeedbackTag, 1);
+  }
+
+  double feedback_buf = 0;  // stable source buffer for the feedback put
+
+  // Row update with either measured or calibrated compute charging.
+  auto update_row_charged = [&](int r) {
+    if (cfg.per_point > 0) {
+      g.update_row(r, t.jstart);
+      self.compute(cfg.per_point *
+                   static_cast<Time>(W - (t.jstart - 1)));
+    } else {
+      self.compute_measured([&] { g.update_row(r, t.jstart); });
+    }
+  };
+
+  self.barrier();
+  const Time t0 = self.now();
+
+  for (int iter = 0; iter < cfg.iters; ++iter) {
+    switch (cfg.variant) {
+      case StencilVariant::kMessagePassing: {
+        for (int r = 1; r < cfg.rows; ++r) {
+          if (!t.first_rank)
+            self.recv(&g.at(r, 0), sizeof(double), t.left, kGhostTag);
+          update_row_charged(r);
+          if (!t.last_rank)
+            self.send(&g.at(r, W), sizeof(double), t.right, kGhostTag);
+        }
+        if (t.n > 1) {
+          if (t.last_rank) {
+            feedback_buf = -g.at(cfg.rows - 1, W);
+            self.send(&feedback_buf, sizeof(double), 0, kFeedbackTag);
+          }
+          if (t.first_rank) {
+            self.recv(&g.at(0, 1), sizeof(double), t.last, kFeedbackTag);
+          }
+        } else {
+          g.at(0, 1) = -g.at(cfg.rows - 1, W);
+        }
+        break;
+      }
+
+      case StencilVariant::kFence: {
+        // The pipeline degrades into a bulk-synchronous wavefront: one
+        // collective fence per diagonal step.
+        const int steps = (cfg.rows - 1) + (t.n - 1);
+        for (int step = 1; step <= steps; ++step) {
+          const int r = step - t.p;
+          if (r >= 1 && r < cfg.rows) {
+            update_row_charged(r);
+            if (!t.last_rank)
+              win->put(&g.at(r, W), sizeof(double), t.right,
+                       right_ghost_disp(r));
+          }
+          win->fence();
+        }
+        if (t.n > 1) {
+          if (t.last_rank) {
+            feedback_buf = -g.at(cfg.rows - 1, W);
+            win->put(&feedback_buf, sizeof(double), 0, corner_disp);
+          }
+          win->fence();
+        } else {
+          g.at(0, 1) = -g.at(cfg.rows - 1, W);
+        }
+        break;
+      }
+
+      case StencilVariant::kPscw: {
+        std::array<int, 1> left_group{t.left};
+        std::array<int, 1> right_group{t.right};
+        for (int r = 1; r < cfg.rows; ++r) {
+          if (!t.first_rank) {
+            win->post(left_group);
+            win->wait();
+          }
+          update_row_charged(r);
+          if (!t.last_rank) {
+            win->start(right_group);
+            win->put(&g.at(r, W), sizeof(double), t.right,
+                     right_ghost_disp(r));
+            win->complete();
+          }
+        }
+        if (t.n > 1) {
+          if (t.first_rank) {
+            std::array<int, 1> last_group{t.last};
+            win->post(last_group);
+            win->wait();
+          }
+          if (t.last_rank) {
+            std::array<int, 1> zero_group{0};
+            feedback_buf = -g.at(cfg.rows - 1, W);
+            win->start(zero_group);
+            win->put(&feedback_buf, sizeof(double), 0, corner_disp);
+            win->complete();
+          }
+        } else {
+          g.at(0, 1) = -g.at(cfg.rows - 1, W);
+        }
+        break;
+      }
+
+      case StencilVariant::kNotified: {
+        for (int r = 1; r < cfg.rows; ++r) {
+          if (!t.first_rank) {
+            self.na().start(req_ghost);
+            self.na().wait(req_ghost);
+          }
+          update_row_charged(r);
+          if (!t.last_rank)
+            self.na().put_notify(*win, &g.at(r, W), sizeof(double), t.right,
+                                 right_ghost_disp(r), kGhostTag);
+        }
+        if (t.n > 1) {
+          if (t.last_rank) {
+            feedback_buf = -g.at(cfg.rows - 1, W);
+            self.na().put_notify(*win, &feedback_buf, sizeof(double), 0,
+                                 corner_disp, kFeedbackTag);
+          }
+          if (t.first_rank) {
+            self.na().start(req_feedback);
+            self.na().wait(req_feedback);
+          }
+        } else {
+          g.at(0, 1) = -g.at(cfg.rows - 1, W);
+        }
+        // Local completion before the next iteration reuses boundary cells.
+        win->flush_all();
+        break;
+      }
+    }
+  }
+
+  self.barrier();
+  const Time elapsed_local = self.now() - t0;
+
+  // Agree on the slowest rank's elapsed time.
+  double el = to_seconds(elapsed_local);
+  double el_max = el;
+  std::vector<double> all(static_cast<std::size_t>(t.n));
+  mp::allgather(self.mp(), &el, sizeof(double), all.data());
+  for (double v : all) el_max = std::max(el_max, v);
+
+  StencilResult res;
+  res.elapsed = seconds(el_max);
+  const double updates = static_cast<double>(cfg.rows - 1) *
+                         static_cast<double>(cfg.total_cols - 1) *
+                         static_cast<double>(cfg.iters);
+  res.gmops = updates / el_max / 1e9;
+  res.expected_corner =
+      static_cast<double>(cfg.iters) *
+      static_cast<double>(cfg.rows + cfg.total_cols - 2);
+  if (t.first_rank) {
+    res.corner = -g.at(0, 1);
+    res.verified = res.corner == res.expected_corner;
+  }
+  return res;
+}
+
+}  // namespace narma::apps

@@ -1,0 +1,158 @@
+#include "apps/tree.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+namespace narma::apps {
+
+namespace {
+
+constexpr int kTreeTag = 3;
+
+struct TreeTopo {
+  int parent = -1;
+  std::vector<int> children;
+  int slot_in_parent = 0;  // this rank's slot index at its parent
+};
+
+TreeTopo topo_of(int rank, int nranks, int arity) {
+  TreeTopo t;
+  if (rank != 0) {
+    t.parent = (rank - 1) / arity;
+    t.slot_in_parent = (rank - 1) % arity;
+  }
+  for (int c = 1; c <= arity; ++c) {
+    const long child = static_cast<long>(rank) * arity + c;
+    if (child >= nranks) break;
+    t.children.push_back(static_cast<int>(child));
+  }
+  return t;
+}
+
+}  // namespace
+
+TreeResult run_tree(Rank& self, const TreeConfig& cfg) {
+  NARMA_CHECK(cfg.elems >= 1 && cfg.arity >= 2 && cfg.reps >= 1);
+  const int p = self.id();
+  const int n = self.size();
+  const TreeTopo topo = topo_of(p, n, cfg.arity);
+  const std::size_t bytes = cfg.elems * sizeof(double);
+
+  // Window layout: arity slots of `elems` doubles each — one landing zone
+  // per child.
+  auto win = self.win_allocate(
+      static_cast<std::size_t>(cfg.arity) * bytes, sizeof(double));
+  auto slots = win->local<double>();
+
+  std::vector<double> contribution(cfg.elems,
+                                   static_cast<double>(p) + 1.0);
+  std::vector<double> acc(cfg.elems);
+  std::vector<double> incoming(cfg.elems);
+
+  // Counting notification: one request covers all children (any source).
+  na::NotifyRequest req;
+  if (cfg.variant == TreeVariant::kNotified && !topo.children.empty()) {
+    req = self.na().notify_init(*win, na::kAnySource, kTreeTag,
+                                static_cast<std::uint32_t>(
+                                    topo.children.size()));
+  }
+
+  const Time reduce_elem_cost = self.world().params().mp.reduce_op_per_elem;
+
+  auto combine_slot = [&](std::size_t slot) {
+    const double* src = slots.data() + slot * cfg.elems;
+    self.compute(reduce_elem_cost * static_cast<Time>(cfg.elems));
+    for (std::size_t i = 0; i < cfg.elems; ++i) acc[i] += src[i];
+  };
+
+  // Each repetition is separated by a barrier (no pipelining across
+  // reductions), and only the in-reduction span is accumulated; the root
+  // finishes last, so the allgathered maximum is the reduction latency.
+  Time timed = 0;
+
+  for (int rep = 0; rep < cfg.reps; ++rep) {
+    self.barrier();
+    const Time r0 = self.now();
+    self.compute(reduce_elem_cost * static_cast<Time>(cfg.elems));
+    std::copy(contribution.begin(), contribution.end(), acc.begin());
+
+    switch (cfg.variant) {
+      case TreeVariant::kMessagePassing: {
+        for (std::size_t c = 0; c < topo.children.size(); ++c) {
+          self.recv(incoming.data(), bytes, topo.children[c], kTreeTag);
+          self.compute(reduce_elem_cost * static_cast<Time>(cfg.elems));
+          for (std::size_t i = 0; i < cfg.elems; ++i) acc[i] += incoming[i];
+        }
+        if (topo.parent >= 0)
+          self.send(acc.data(), bytes, topo.parent, kTreeTag);
+        break;
+      }
+
+      case TreeVariant::kVendorReduce: {
+        mp::reduce_binomial(self.mp(), contribution.data(), acc.data(),
+                            cfg.elems, 0);
+        break;
+      }
+
+      case TreeVariant::kPscw: {
+        if (!topo.children.empty()) {
+          win->post(std::span<const int>(topo.children));
+          win->wait();
+          for (std::size_t c = 0; c < topo.children.size(); ++c)
+            combine_slot(c);
+        }
+        if (topo.parent >= 0) {
+          std::array<int, 1> pg{topo.parent};
+          win->start(pg);
+          win->put(acc.data(), bytes, topo.parent,
+                   static_cast<std::uint64_t>(topo.slot_in_parent) *
+                       cfg.elems);
+          win->complete();
+        }
+        break;
+      }
+
+      case TreeVariant::kNotified: {
+        if (!topo.children.empty()) {
+          self.na().start(req);
+          self.na().wait(req);  // counting: completes after all children
+          for (std::size_t c = 0; c < topo.children.size(); ++c)
+            combine_slot(c);
+        }
+        if (topo.parent >= 0) {
+          self.na().put_notify(*win, acc.data(), bytes, topo.parent,
+                               static_cast<std::uint64_t>(
+                                   topo.slot_in_parent) *
+                                   cfg.elems,
+                               kTreeTag);
+          // Local completion so `acc` can be reused next rep.
+          win->flush(topo.parent);
+        }
+        break;
+      }
+    }
+    timed += self.now() - r0;
+  }
+
+  self.barrier();
+
+  double el = to_seconds(timed);
+  std::vector<double> all(static_cast<std::size_t>(n));
+  mp::allgather(self.mp(), &el, sizeof(double), all.data());
+  double el_max = 0;
+  for (double v : all) el_max = std::max(el_max, v);
+
+  TreeResult res;
+  res.elapsed = seconds(el_max);
+  res.per_op_us = el_max * 1e6 / static_cast<double>(cfg.reps);
+  if (p == 0) {
+    const double expected =
+        static_cast<double>(n) * (static_cast<double>(n) + 1.0) / 2.0;
+    res.result0 = acc[0];
+    res.verified = acc[0] == expected;
+  }
+  return res;
+}
+
+}  // namespace narma::apps

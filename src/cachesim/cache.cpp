@@ -1,0 +1,62 @@
+#include "cachesim/cache.hpp"
+
+#include "common/assert.hpp"
+
+namespace narma::cachesim {
+
+namespace {
+bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+Cache::Cache(std::size_t line_size, std::size_t num_sets, std::size_t ways)
+    : line_size_(line_size), num_sets_(num_sets), ways_(ways) {
+  NARMA_CHECK(is_pow2(line_size)) << "line size must be a power of two";
+  NARMA_CHECK(is_pow2(num_sets)) << "set count must be a power of two";
+  NARMA_CHECK(ways >= 1);
+  sets_.resize(num_sets_ * ways_);
+}
+
+bool Cache::access_line(std::uint64_t line_addr) {
+  const std::uint64_t set = line_addr & (num_sets_ - 1);
+  const std::uint64_t tag = line_addr / num_sets_;
+  Way* base = &sets_[static_cast<std::size_t>(set) * ways_];
+  ++stamp_;
+
+  Way* victim = base;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    Way& way = base[w];
+    if (way.lru != 0 && way.tag == tag) {
+      way.lru = stamp_;
+      return true;  // hit
+    }
+    if (way.lru < victim->lru) victim = &way;
+  }
+  victim->tag = tag;
+  victim->lru = stamp_;
+  return false;  // miss (fills the LRU way)
+}
+
+std::uint64_t Cache::touch(std::uint64_t addr, std::size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  const std::uint64_t first = addr / line_size_;
+  const std::uint64_t last = (addr + bytes - 1) / line_size_;
+  std::uint64_t misses = 0;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    ++stats_.accesses;
+    if (access_line(line)) {
+      ++stats_.hits;
+    } else {
+      ++stats_.misses;
+      ++misses;
+    }
+  }
+  return misses;
+}
+
+void Cache::invalidate_all() {
+  for (auto& w : sets_) w = Way{};
+}
+
+Cache make_l1d() { return Cache(64, 64, 8); }
+
+}  // namespace narma::cachesim

@@ -1,0 +1,16 @@
+// Environment-variable overrides for benchmark harness knobs
+// (e.g. NARMA_REPS=3 to shorten a sweep). All reads are typed and fall back
+// to the caller's default on absence or parse failure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace narma::env {
+
+std::int64_t get_int(const char* name, std::int64_t fallback);
+double get_double(const char* name, double fallback);
+std::string get_string(const char* name, const std::string& fallback);
+bool get_bool(const char* name, bool fallback);
+
+}  // namespace narma::env

@@ -1,0 +1,69 @@
+// Fixed-capacity ring buffer.
+//
+// Used for the shared-memory notification queue (paper Sec. IV-C: "a bounded
+// ring buffer for notifications") and for eager-message staging. Capacity is
+// rounded up to a power of two so index masking replaces modulo.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace narma {
+
+template <class T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  bool empty() const { return head_ == tail_; }
+  bool full() const { return tail_ - head_ == slots_.size(); }
+  std::size_t size() const { return tail_ - head_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Returns false when the buffer is full (caller decides whether a full
+  /// queue is backpressure or a fatal protocol error).
+  bool try_push(T v) {
+    if (full()) return false;
+    slots_[tail_ & mask_] = std::move(v);
+    ++tail_;
+    return true;
+  }
+
+  void push(T v) { NARMA_CHECK(try_push(std::move(v))) << "ring overflow"; }
+
+  T pop() {
+    NARMA_CHECK(!empty());
+    T v = std::move(slots_[head_ & mask_]);
+    ++head_;
+    return v;
+  }
+
+  const T& front() const {
+    NARMA_CHECK(!empty());
+    return slots_[head_ & mask_];
+  }
+
+  /// Element i positions from the head (0 = oldest).
+  const T& peek(std::size_t i) const {
+    NARMA_CHECK(i < size());
+    return slots_[(head_ + i) & mask_];
+  }
+
+  void clear() { head_ = tail_ = 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  std::size_t head_ = 0;  // monotonically increasing; masked on access
+  std::size_t tail_ = 0;
+};
+
+}  // namespace narma

@@ -1,0 +1,34 @@
+// Plain-text table printer for benchmark harnesses: fixed-width columns,
+// right-aligned numbers, one header row. Every bench binary prints its
+// figure/table through this so output stays uniform and greppable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace narma {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt(std::size_t v);
+  static std::string fmt(long long v);
+
+  /// Renders the table to a string (also used by tests).
+  std::string render() const;
+
+  /// Renders to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace narma

@@ -1,0 +1,369 @@
+#include "core/notify.hpp"
+
+#include <cstring>
+
+namespace narma::na {
+
+// --------------------------------------------------------- NotifyRequest --
+
+NotifyRequest::~NotifyRequest() {
+  if (slot_ && engine_) engine_->free(*this);
+}
+
+NotifyRequest& NotifyRequest::operator=(NotifyRequest&& other) noexcept {
+  if (this != &other) {
+    if (slot_ && engine_) engine_->free(*this);
+    slot_ = std::move(other.slot_);
+    status_ = other.status_;
+    engine_ = other.engine_;
+    other.engine_ = nullptr;
+  }
+  return *this;
+}
+
+// -------------------------------------------------------------- NaEngine --
+
+NaEngine::NaEngine(net::MsgRouter& router, NaParams params)
+    : router_(router), params_(params) {}
+
+// --- Origin side --------------------------------------------------------------
+
+void NaEngine::put_notify(rma::Window& win, const void* src, std::size_t bytes,
+                          int target, std::uint64_t target_disp, int tag) {
+  NARMA_CHECK(tag >= 0 && static_cast<std::uint32_t>(tag) <= net::kMaxTag)
+      << "notified-access tag " << tag << " outside the " << net::kTagBits
+      << "-bit immediate range (hardware constraint, paper Sec. III-B)";
+  net::Nic& nic = router_.nic();
+  nic.ctx().advance(params_.t_na);
+
+  const std::uint32_t imm = net::encode_imm(nic.rank(), tag);
+  const std::uint64_t offset = win.byte_offset(target_disp);
+  net::Fabric& fabric = nic.fabric();
+
+  if (fabric.same_node(nic.rank(), target)) {
+    // XPMEM path (paper Sec. IV-C): a cache-line notification ring entry.
+    net::ShmNotification n;
+    n.imm = imm;
+    n.window = win.id();
+    n.key = win.remote_key(target);
+    n.offset = offset;
+    n.bytes = static_cast<std::uint32_t>(bytes);
+    if (params_.enable_shm_inline && bytes <= params_.shm_inline_max) {
+      // Inline transfer: the payload rides inside the notification entry
+      // and is committed by the target at match time.
+      n.inline_len = static_cast<std::uint8_t>(bytes);
+      if (bytes) std::memcpy(n.inline_data.data(), src, bytes);
+    } else {
+      // Optimized memcpy + fence, then the notification (same channel, so
+      // FIFO delivery guarantees the data is committed first).
+      n.inline_len = 0;
+      nic.put(target, win.remote_key(target), offset, src, bytes, {},
+              &win.pending(target));
+    }
+    nic.send_shm_notification(target, n, &win.pending(target));
+    return;
+  }
+
+  // uGNI path: RDMA put with the immediate posted to the destination CQ.
+  nic.put(target, win.remote_key(target), offset, src, bytes,
+          {true, imm, win.id()}, &win.pending(target));
+}
+
+void NaEngine::put_notify_strided(rma::Window& win, const void* src,
+                                  std::size_t block_bytes,
+                                  std::size_t nblocks,
+                                  std::size_t src_stride_bytes, int target,
+                                  std::uint64_t target_disp,
+                                  std::uint64_t target_stride, int tag) {
+  NARMA_CHECK(tag >= 0 && static_cast<std::uint32_t>(tag) <= net::kMaxTag)
+      << "notified-access tag " << tag << " outside the immediate range";
+  net::Nic& nic = router_.nic();
+  nic.ctx().advance(params_.t_na);
+  const std::uint32_t imm = net::encode_imm(nic.rank(), tag);
+
+  std::vector<net::Nic::IoSegment> segs;
+  segs.reserve(nblocks);
+  const auto* base = static_cast<const std::byte*>(src);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    segs.push_back({win.byte_offset(target_disp + b * target_stride),
+                    base + b * src_stride_bytes, block_bytes});
+  }
+  // Noncontiguous notified accesses always use the CQE path (one
+  // notification for the whole shape); the shm inline optimization only
+  // applies to small contiguous payloads.
+  nic.put_iov(target, win.remote_key(target), segs, {true, imm, win.id()},
+              &win.pending(target));
+}
+
+void NaEngine::get_notify(rma::Window& win, void* dst, std::size_t bytes,
+                          int target, std::uint64_t target_disp, int tag) {
+  NARMA_CHECK(tag >= 0 && static_cast<std::uint32_t>(tag) <= net::kMaxTag)
+      << "notified-access tag " << tag << " outside the immediate range";
+  net::Nic& nic = router_.nic();
+  nic.ctx().advance(params_.t_na);
+  const std::uint32_t imm = net::encode_imm(nic.rank(), tag);
+  // Both inter- and intra-node notified gets use the destination-CQ path:
+  // uGNI immediates are available for reads too (unlike InfiniBand, paper
+  // Sec. IV-A), and the target polls both queues anyway.
+  nic.get(target, win.remote_key(target), win.byte_offset(target_disp), dst,
+          bytes, {true, imm, win.id()}, &win.pending(target));
+}
+
+void NaEngine::fetch_add_notify_i64(rma::Window& win, int target,
+                                    std::uint64_t target_disp, std::int64_t v,
+                                    std::int64_t* result, int tag) {
+  NARMA_CHECK(tag >= 0 && static_cast<std::uint32_t>(tag) <= net::kMaxTag);
+  net::Nic& nic = router_.nic();
+  nic.ctx().advance(params_.t_na);
+  const std::uint32_t imm = net::encode_imm(nic.rank(), tag);
+  nic.atomic(target, win.remote_key(target), win.byte_offset(target_disp),
+             net::Nic::AtomicOp::kAddI64, v, 0, result,
+             {true, imm, win.id()}, &win.pending(target));
+}
+
+void NaEngine::compare_swap_notify_i64(rma::Window& win, int target,
+                                       std::uint64_t target_disp,
+                                       std::int64_t compare,
+                                       std::int64_t desired,
+                                       std::int64_t* result, int tag) {
+  NARMA_CHECK(tag >= 0 && static_cast<std::uint32_t>(tag) <= net::kMaxTag);
+  net::Nic& nic = router_.nic();
+  nic.ctx().advance(params_.t_na);
+  const std::uint32_t imm = net::encode_imm(nic.rank(), tag);
+  nic.atomic(target, win.remote_key(target), win.byte_offset(target_disp),
+             net::Nic::AtomicOp::kCasI64, desired, compare, result,
+             {true, imm, win.id()}, &win.pending(target));
+}
+
+// --- Target side ----------------------------------------------------------------
+
+NotifyRequest NaEngine::notify_init(rma::Window& win, int source, int tag,
+                                    std::uint32_t expected) {
+  NARMA_CHECK(source == kAnySource ||
+              (source >= 0 && source < win.nranks()))
+      << "bad notification source " << source;
+  NARMA_CHECK(tag == kAnyTag ||
+              (tag >= 0 && static_cast<std::uint32_t>(tag) <= net::kMaxTag))
+      << "bad notification tag " << tag;
+  NARMA_CHECK(expected >= 1) << "expected_count must be positive";
+  router_.nic().ctx().advance(params_.t_init);
+
+  NotifyRequest req;
+  req.engine_ = this;
+  req.slot_ = std::make_unique<RequestSlot>();
+  req.slot_->window = win.id();
+  req.slot_->source = source;
+  req.slot_->tag = tag;
+  req.slot_->expected = expected;
+  req.slot_->matched = 0;
+  req.slot_->started = 0;
+  return req;
+}
+
+void NaEngine::start(NotifyRequest& req) {
+  NARMA_CHECK(req.valid()) << "start on an invalid notification request";
+  router_.nic().ctx().advance(params_.t_start);
+  req.slot_->matched = 0;  // "MPI_Start simply resets the matched counter"
+  req.slot_->started = 1;
+}
+
+void NaEngine::consume(RequestSlot& s, NaStatus& st, const UqEntry& e) {
+  ++s.matched;
+  st.source = net::imm_source(e.imm);
+  st.tag = static_cast<int>(net::imm_tag(e.imm));
+  st.bytes = e.bytes;
+  if (e.inline_len > 0) {
+    // Inline shm payload: commit to the window region now (match time).
+    router_.nic().ctx().advance(params_.inline_commit);
+    std::byte* dst = router_.nic().resolve(e.key, e.offset, e.inline_len);
+    std::memcpy(dst, e.inline_data.data(), e.inline_len);
+  } else if (e.from_shm) {
+    // Copy-then-notify shm path: pay the remote-line fetch + fence check
+    // that the inline transfer avoids.
+    router_.nic().ctx().advance(params_.shm_noninline_commit);
+  }
+}
+
+bool NaEngine::pop_hw(UqEntry& out) {
+  net::Nic& nic = router_.nic();
+  auto& cq = nic.dest_cq();
+  auto& ring = nic.shm_ring();
+  const bool has_cq = !cq.empty();
+  const bool has_ring = !ring.empty();
+  if (!has_cq && !has_ring) return false;
+
+  // Merge the two hardware queues by arrival time (ties: CQ first) so the
+  // UQ preserves global arrival order.
+  const bool take_cq =
+      has_cq && (!has_ring || cq.front().time <= ring.front().time);
+  if (cache_) {
+    // Hardware-queue access; tracked but not counted as matching overhead.
+    const void* head = take_cq ? static_cast<const void*>(&cq.front())
+                               : static_cast<const void*>(&ring.front());
+    misses_.hw_cq +=
+        cache_->touch(reinterpret_cast<std::uint64_t>(head), 64);
+  }
+  if (take_cq) {
+    const net::Cqe c = cq.pop();
+    out = UqEntry{};
+    out.imm = c.imm;
+    out.window = c.window;
+    out.bytes = c.bytes;
+    out.time = c.time;
+  } else {
+    const net::ShmNotification n = ring.pop();
+    out = UqEntry{};
+    out.imm = n.imm;
+    out.window = n.window;
+    out.bytes = n.bytes;
+    out.time = n.time;
+    out.from_shm = true;
+    out.key = n.key;
+    out.offset = n.offset;
+    out.inline_len = n.inline_len;
+    if (n.inline_len) out.inline_data = n.inline_data;
+  }
+  router_.nic().ctx().advance(params_.cq_poll);
+  return true;
+}
+
+bool NaEngine::test(NotifyRequest& req, NaStatus* status) {
+  NARMA_CHECK(req.valid() && req.engine_ == this);
+  RequestSlot& s = *req.slot_;
+  NARMA_CHECK(s.started) << "test on a notification request that was not "
+                            "started (call start() after notify_init)";
+
+  // Once completed, a request stays completed until restarted.
+  if (s.matched >= s.expected) {
+    if (status) *status = req.status_;
+    return true;
+  }
+
+  net::Nic& nic = router_.nic();
+  nic.ctx().drain();
+
+  // First compulsory access: the request slot itself.
+  if (cache_) misses_.request += cache_->touch_object(&s);
+  // Second compulsory access: the UQ header (head pointer + first entries
+  // share a cache line in the paper's layout; we model the header access).
+  if (cache_) misses_.uq += cache_->touch(reinterpret_cast<std::uint64_t>(&uq_), 8);
+
+  // 1) Scan the unexpected queue in arrival order.
+  for (auto it = uq_.begin(); it != uq_.end() && s.matched < s.expected;) {
+    nic.ctx().advance(params_.uq_scan);
+    if (cache_ && it != uq_.begin())
+      misses_.uq += cache_->touch_object(&*it);
+    if (matches(s, it->imm, it->window)) {
+      consume(s, req.status_, *it);
+      it = uq_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // 2) Poll the hardware queues; non-matching notifications go to the UQ.
+  UqEntry e;
+  while (s.matched < s.expected && pop_hw(e)) {
+    if (matches(s, e.imm, e.window)) {
+      consume(s, req.status_, e);
+    } else {
+      uq_.push_back(e);
+    }
+  }
+
+  if (s.matched >= s.expected) {
+    nic.ctx().advance(params_.o_r);
+    if (status) *status = req.status_;
+    return true;
+  }
+  return false;
+}
+
+void NaEngine::wait(NotifyRequest& req, NaStatus* status) {
+  sim::Tracer* tracer = router_.nic().fabric().tracer();
+  const Time begin = router_.nic().ctx().now();
+  router_.wait_progress([this, &req] { return test(req); }, "na-wait");
+  if (tracer)
+    tracer->span(rank(), "na", "wait", begin, router_.nic().ctx().now());
+  if (status) *status = req.status_;
+}
+
+std::size_t NaEngine::wait_any(std::span<NotifyRequest*> reqs,
+                               NaStatus* status) {
+  NARMA_CHECK(!reqs.empty());
+  std::size_t winner = reqs.size();
+  router_.wait_progress(
+      [this, reqs, &winner] {
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+          if (test(*reqs[i])) {
+            winner = i;
+            return true;
+          }
+        }
+        return false;
+      },
+      "na-wait-any");
+  if (status) *status = reqs[winner]->status_;
+  return winner;
+}
+
+void NaEngine::wait_all(std::span<NotifyRequest*> reqs) {
+  router_.wait_progress(
+      [this, reqs] {
+        for (NotifyRequest* r : reqs)
+          if (!test(*r)) return false;
+        return true;
+      },
+      "na-wait-all");
+}
+
+void NaEngine::free(NotifyRequest& req) {
+  NARMA_CHECK(req.valid());
+  router_.nic().ctx().advance(params_.t_free);
+  req.slot_.reset();
+  req.engine_ = nullptr;
+}
+
+bool NaEngine::iprobe(rma::Window& win, int source, int tag,
+                      NaStatus* status) {
+  NARMA_CHECK(source == kAnySource || (source >= 0 && source < win.nranks()));
+  net::Nic& nic = router_.nic();
+  nic.ctx().drain();
+
+  // Probe matching reuses the request predicate with a throwaway slot.
+  RequestSlot probe_slot;
+  probe_slot.window = win.id();
+  probe_slot.source = source;
+  probe_slot.tag = tag;
+
+  auto report = [&](const UqEntry& e) {
+    if (status) {
+      status->source = net::imm_source(e.imm);
+      status->tag = static_cast<int>(net::imm_tag(e.imm));
+      status->bytes = e.bytes;
+    }
+    return true;
+  };
+
+  for (const auto& e : uq_) {
+    nic.ctx().advance(params_.uq_scan);
+    if (matches(probe_slot, e.imm, e.window)) return report(e);
+  }
+  // Pull hardware-queue entries into the UQ until a match surfaces (they
+  // stay queued — a probe never consumes).
+  UqEntry e;
+  while (pop_hw(e)) {
+    uq_.push_back(e);
+    if (matches(probe_slot, e.imm, e.window)) return report(e);
+  }
+  return false;
+}
+
+NaStatus NaEngine::probe(rma::Window& win, int source, int tag) {
+  NaStatus st;
+  router_.wait_progress(
+      [&] { return iprobe(win, source, tag, &st); }, "na-probe");
+  return st;
+}
+
+}  // namespace narma::na

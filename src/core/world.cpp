@@ -1,0 +1,28 @@
+#include "core/world.hpp"
+
+namespace narma {
+
+World::World(int nranks, WorldParams params)
+    : params_(params),
+      engine_(std::make_unique<sim::Engine>(nranks)),
+      fabric_(std::make_unique<net::Fabric>(*engine_, params.fabric)) {}
+
+World::~World() = default;
+
+void World::run(const std::function<void(Rank&)>& rank_main) {
+  engine_->run([this, &rank_main](sim::RankCtx& ctx) {
+    Rank rank(*this, ctx);
+    rank_main(rank);
+  });
+}
+
+Rank::Rank(World& world, sim::RankCtx& ctx)
+    : world_(world),
+      ctx_(ctx),
+      nic_(world.fabric().nic(ctx.id())),
+      router_(nic_),
+      ep_(router_, world.params().mp),
+      winmgr_(router_, ep_, world.params().rma),
+      na_(router_, world.params().na) {}
+
+}  // namespace narma

@@ -1,0 +1,80 @@
+#include "linalg/kernels.hpp"
+
+#include <cmath>
+
+namespace narma::linalg {
+
+bool potrf_lower(double* a, int b) {
+  for (int j = 0; j < b; ++j) {
+    double d = a[j * b + j];
+    for (int k = 0; k < j; ++k) d -= a[j * b + k] * a[j * b + k];
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    const double ljj = std::sqrt(d);
+    a[j * b + j] = ljj;
+    const double inv = 1.0 / ljj;
+    for (int i = j + 1; i < b; ++i) {
+      double s = a[i * b + j];
+      for (int k = 0; k < j; ++k) s -= a[i * b + k] * a[j * b + k];
+      a[i * b + j] = s * inv;
+    }
+    for (int i = 0; i < j; ++i) a[i * b + j] = 0.0;  // zero upper triangle
+  }
+  return true;
+}
+
+void trsm_right_lower_trans(const double* l, double* a, int b) {
+  // Solve x * L^T = a row by row: x[j] = (a[j] - sum_{k<j} x[k]*L[j][k]) / L[j][j].
+  for (int r = 0; r < b; ++r) {
+    double* row = a + static_cast<std::size_t>(r) * b;
+    for (int j = 0; j < b; ++j) {
+      double s = row[j];
+      const double* lrow = l + static_cast<std::size_t>(j) * b;
+      for (int k = 0; k < j; ++k) s -= row[k] * lrow[k];
+      row[j] = s / lrow[j];
+    }
+  }
+}
+
+void syrk_lower(const double* a, double* c, int b) {
+  for (int i = 0; i < b; ++i) {
+    for (int j = 0; j < b; ++j) {
+      double s = 0;
+      const double* ai = a + static_cast<std::size_t>(i) * b;
+      const double* aj = a + static_cast<std::size_t>(j) * b;
+      for (int k = 0; k < b; ++k) s += ai[k] * aj[k];
+      c[static_cast<std::size_t>(i) * b + j] -= s;
+    }
+  }
+}
+
+void gemm_nt(const double* a, const double* bt, double* c, int b) {
+  for (int i = 0; i < b; ++i) {
+    const double* ai = a + static_cast<std::size_t>(i) * b;
+    double* ci = c + static_cast<std::size_t>(i) * b;
+    for (int j = 0; j < b; ++j) {
+      const double* bj = bt + static_cast<std::size_t>(j) * b;
+      double s = 0;
+      for (int k = 0; k < b; ++k) s += ai[k] * bj[k];
+      ci[j] -= s;
+    }
+  }
+}
+
+double flops_potrf(int b) {
+  const double n = b;
+  return n * n * n / 3.0;
+}
+double flops_trsm(int b) {
+  const double n = b;
+  return n * n * n;
+}
+double flops_syrk(int b) {
+  const double n = b;
+  return n * n * n;
+}
+double flops_gemm(int b) {
+  const double n = b;
+  return 2.0 * n * n * n;
+}
+
+}  // namespace narma::linalg

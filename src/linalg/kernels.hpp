@@ -1,0 +1,36 @@
+// Tile kernels for the task-based Cholesky factorization (paper Sec. VI-C).
+//
+// The four operations are the classic PLASMA/LAPACK tile-algorithm kernels
+// (Kurzak et al.): DPOTRF on the diagonal tile, DTRSM for the panel, DSYRK
+// for the symmetric diagonal update and DGEMM for the trailing update. Tiles
+// are square, row-major, b x b doubles, factorizing the lower triangle
+// (A = L * L^T).
+#pragma once
+
+#include <cstddef>
+
+namespace narma::linalg {
+
+/// In-place Cholesky factorization of the lower triangle of the b x b tile
+/// `a` (upper triangle is zeroed). Returns false if the tile is not positive
+/// definite.
+bool potrf_lower(double* a, int b);
+
+/// Panel solve: X * L^T = A, in place on `a`, where `l` holds the lower
+/// Cholesky factor of the diagonal tile (as produced by potrf_lower).
+void trsm_right_lower_trans(const double* l, double* a, int b);
+
+/// Symmetric rank-b update: C -= A * A^T (full tile updated; C stays
+/// symmetric if it starts symmetric).
+void syrk_lower(const double* a, double* c, int b);
+
+/// General update: C -= A * B^T.
+void gemm_nt(const double* a, const double* bt, double* c, int b);
+
+/// Approximate flop counts (used to report GFLOP rates).
+double flops_potrf(int b);
+double flops_trsm(int b);
+double flops_syrk(int b);
+double flops_gemm(int b);
+
+}  // namespace narma::linalg

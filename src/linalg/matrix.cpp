@@ -1,0 +1,128 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "linalg/kernels.hpp"
+
+namespace narma::linalg {
+
+TiledMatrix::TiledMatrix(int nt, int b) : nt_(nt), b_(b) {
+  NARMA_CHECK(nt >= 1 && b >= 1);
+  data_.assign(static_cast<std::size_t>(nt) * nt * b * b, 0.0);
+}
+
+double* TiledMatrix::tile(int i, int j) {
+  NARMA_CHECK(i >= 0 && i < nt_ && j >= 0 && j < nt_);
+  return data_.data() +
+         (static_cast<std::size_t>(i) * nt_ + j) * tile_elems();
+}
+
+const double* TiledMatrix::tile(int i, int j) const {
+  return const_cast<TiledMatrix*>(this)->tile(i, j);
+}
+
+double& TiledMatrix::at(int row, int col) {
+  const int i = row / b_, j = col / b_;
+  return tile(i, j)[static_cast<std::size_t>(row % b_) * b_ + (col % b_)];
+}
+
+double TiledMatrix::at(int row, int col) const {
+  return const_cast<TiledMatrix*>(this)->at(row, col);
+}
+
+TiledMatrix generate_spd(int nt, int b, std::uint64_t seed) {
+  // A = n*I + sum_k u_k u_k^T: symmetric positive definite by construction
+  // and O(n^2 * k) to build (a dense M M^T product would be O(n^3), which
+  // dominates benchmark wall time for large weak-scaling matrices).
+  constexpr int kRankUpdates = 4;
+  const int n = nt * b;
+  Xoshiro256 rng(seed);
+  std::vector<std::vector<double>> u(kRankUpdates,
+                                     std::vector<double>(
+                                         static_cast<std::size_t>(n)));
+  for (auto& vec : u)
+    for (auto& v : vec) v = 2.0 * rng.next_double() - 1.0;
+
+  TiledMatrix a(nt, b);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double s = i == j ? static_cast<double>(n) : 0.0;
+      for (int k = 0; k < kRankUpdates; ++k)
+        s += u[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)] *
+             u[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)];
+      a.at(i, j) = s;
+      a.at(j, i) = s;
+    }
+  }
+  return a;
+}
+
+bool cholesky_tiled_reference(TiledMatrix& a) {
+  const int nt = a.nt();
+  const int b = a.tile_dim();
+  for (int k = 0; k < nt; ++k) {
+    if (!potrf_lower(a.tile(k, k), b)) return false;
+    for (int i = k + 1; i < nt; ++i)
+      trsm_right_lower_trans(a.tile(k, k), a.tile(i, k), b);
+    for (int i = k + 1; i < nt; ++i) {
+      syrk_lower(a.tile(i, k), a.tile(i, i), b);
+      for (int j = k + 1; j < i; ++j)
+        gemm_nt(a.tile(i, k), a.tile(j, k), a.tile(i, j), b);
+    }
+  }
+  return true;
+}
+
+double frobenius(const TiledMatrix& a) {
+  const int n = a.dim();
+  double s = 0;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) s += a.at(i, j) * a.at(i, j);
+  return std::sqrt(s);
+}
+
+double cholesky_residual(const TiledMatrix& a, const TiledMatrix& l) {
+  NARMA_CHECK(a.dim() == l.dim() && a.tile_dim() == l.tile_dim());
+  const int n = a.dim();
+  // Reconstructing L*L^T exactly is O(n^3); above this size, estimate the
+  // relative residual from a deterministic random sample of entries (every
+  // sampled entry of A - L L^T is still computed exactly).
+  constexpr int kExactLimit = 384;
+  constexpr std::size_t kSamples = 1 << 16;
+
+  double res = 0, ref = 0;
+  auto accumulate = [&](int i, int j) {
+    double s = 0;
+    const int kmax = std::min(i, j);
+    for (int k = 0; k <= kmax; ++k) s += l.at(i, k) * l.at(j, k);
+    const double d = a.at(i, j) - s;
+    res += d * d;
+    ref += a.at(i, j) * a.at(i, j);
+  };
+
+  if (n <= kExactLimit) {
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j) accumulate(i, j);
+  } else {
+    Xoshiro256 rng(0x5eedu + static_cast<std::uint64_t>(n));
+    for (std::size_t s = 0; s < kSamples; ++s)
+      accumulate(static_cast<int>(rng.next_below(
+                     static_cast<std::uint64_t>(n))),
+                 static_cast<int>(rng.next_below(
+                     static_cast<std::uint64_t>(n))));
+  }
+  return ref == 0 ? 0 : std::sqrt(res / ref);
+}
+
+double max_lower_diff(const TiledMatrix& a, const TiledMatrix& b) {
+  NARMA_CHECK(a.dim() == b.dim());
+  double m = 0;
+  for (int i = 0; i < a.dim(); ++i)
+    for (int j = 0; j <= i; ++j)
+      m = std::max(m, std::fabs(a.at(i, j) - b.at(i, j)));
+  return m;
+}
+
+}  // namespace narma::linalg

@@ -1,0 +1,56 @@
+// Dense-matrix helpers: tiled SPD problem generation, a sequential tiled
+// Cholesky reference, and residual checks used by tests and the Cholesky
+// application to validate every distributed variant.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace narma::linalg {
+
+/// A square matrix stored as nt x nt tiles of b x b row-major doubles.
+/// Tile (i, j) covers rows [i*b, (i+1)*b) and columns [j*b, (j+1)*b).
+class TiledMatrix {
+ public:
+  TiledMatrix(int nt, int b);
+
+  int nt() const { return nt_; }
+  int tile_dim() const { return b_; }
+  int dim() const { return nt_ * b_; }
+  std::size_t tile_elems() const {
+    return static_cast<std::size_t>(b_) * static_cast<std::size_t>(b_);
+  }
+
+  double* tile(int i, int j);
+  const double* tile(int i, int j) const;
+
+  double& at(int row, int col);
+  double at(int row, int col) const;
+
+ private:
+  int nt_;
+  int b_;
+  std::vector<double> data_;
+};
+
+/// Generates a well-conditioned SPD matrix: A = M * M^T + dim * I with M
+/// uniform in [0, 1), deterministic in `seed`.
+TiledMatrix generate_spd(int nt, int b, std::uint64_t seed);
+
+/// Sequential left-looking tiled Cholesky using the tile kernels; the
+/// reference every distributed variant is checked against. Returns false if
+/// the matrix is not positive definite.
+bool cholesky_tiled_reference(TiledMatrix& a);
+
+/// || A - L * L^T ||_F / || A ||_F where `l` holds the factor in its lower
+/// tiles (strict upper tiles of `l` are ignored).
+double cholesky_residual(const TiledMatrix& a, const TiledMatrix& l);
+
+/// Frobenius norm of the full matrix.
+double frobenius(const TiledMatrix& a);
+
+/// Max |a - b| over all elements of the lower triangle (factor comparison).
+double max_lower_diff(const TiledMatrix& a, const TiledMatrix& b);
+
+}  // namespace narma::linalg

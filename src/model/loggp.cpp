@@ -1,0 +1,46 @@
+#include "model/loggp.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace narma::model {
+
+LinearFit fit_linear(std::span<const std::pair<double, double>> points) {
+  NARMA_CHECK(points.size() >= 2) << "need at least two points to fit";
+  const double n = static_cast<double>(points.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (const auto& [x, y] : points) {
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double denom = n * sxx - sx * sx;
+  NARMA_CHECK(denom != 0) << "degenerate fit: all x values identical";
+
+  LinearFit f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+
+  const double mean_y = sy / n;
+  double ss_res = 0, ss_tot = 0;
+  for (const auto& [x, y] : points) {
+    const double pred = f.intercept + f.slope * x;
+    ss_res += (y - pred) * (y - pred);
+    ss_tot += (y - mean_y) * (y - mean_y);
+  }
+  f.r2 = ss_tot == 0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return f;
+}
+
+LogGPParams fit_loggp(std::span<const std::pair<double, double>> size_latency,
+                      double overheads_us) {
+  const LinearFit f = fit_linear(size_latency);
+  LogGPParams p;
+  p.L_us = f.intercept - overheads_us;
+  p.G_ns_per_byte = f.slope * 1e3;  // us/B -> ns/B
+  return p;
+}
+
+}  // namespace narma::model

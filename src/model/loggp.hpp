@@ -1,0 +1,51 @@
+// LogGP performance model (Alexandrov et al., SPAA'95), as used by the
+// paper's Sec. V-A: T(s) = o_s + L + G*s (+ o_r at the receiver). The
+// Table I benchmark measures one-way notified-put latencies over a size
+// sweep and recovers L (intercept minus the software overheads) and G
+// (slope) with an ordinary least-squares fit.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+
+namespace narma::model {
+
+struct LogGPParams {
+  double o_s_us = 0;          // send overhead
+  double o_r_us = 0;          // receive overhead
+  double L_us = 0;            // zero-byte latency
+  double G_ns_per_byte = 0;   // per-byte gap
+  double g_us = 0;            // per-message gap
+
+  /// One-way time for a single message of `bytes` payload.
+  double latency_us(std::size_t bytes) const {
+    return o_s_us + L_us + G_ns_per_byte * 1e-3 * static_cast<double>(bytes) +
+           o_r_us;
+  }
+
+  /// Steady-state bandwidth for back-to-back messages of `bytes` (MB/s).
+  double bandwidth_mb_s(std::size_t bytes) const {
+    const double per_msg_us =
+        g_us + G_ns_per_byte * 1e-3 * static_cast<double>(bytes);
+    return per_msg_us <= 0 ? 0
+                           : static_cast<double>(bytes) / per_msg_us;  // B/us == MB/s
+  }
+};
+
+/// Ordinary least-squares fit of y = intercept + slope * x.
+struct LinearFit {
+  double intercept = 0;
+  double slope = 0;
+  double r2 = 0;  // coefficient of determination
+};
+
+/// Fits (x, y) pairs; requires at least two distinct x values.
+LinearFit fit_linear(std::span<const std::pair<double, double>> points);
+
+/// Recovers LogGP L and G from (message bytes, one-way latency us)
+/// measurements: L = intercept - overheads_us, G = slope (us/B -> ns/B).
+LogGPParams fit_loggp(std::span<const std::pair<double, double>> size_latency,
+                      double overheads_us);
+
+}  // namespace narma::model

@@ -1,0 +1,47 @@
+// Collective operations layered on the two-sided endpoint.
+//
+// These fill two roles: the library's own infrastructure (window creation
+// allgathers memory keys, fence needs a barrier) and the paper's baselines —
+// `reduce_binomial` models the "vendor optimized MPI_Reduce" the tree
+// benchmark compares against (Fig. 4c), and `reduce_kary` is the same
+// topology as the k-ary tree application so the two differ only in the
+// synchronization mechanism.
+//
+// All collectives use reserved tags (>= mp::kMaxUserTag) and assume no
+// wildcard user receive is outstanding across a collective call.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mp/endpoint.hpp"
+
+namespace narma::mp {
+
+/// Dissemination barrier: ceil(log2 p) rounds of pairwise messages.
+void barrier(Endpoint& ep);
+
+/// Binomial-tree broadcast of `bytes` from `root`.
+void bcast(Endpoint& ep, void* buf, std::size_t bytes, int root);
+
+/// Binomial-tree sum-reduction of `n` doubles to `root`. Models the tuned
+/// vendor reduction. in/out may alias only at the root.
+void reduce_binomial(Endpoint& ep, const double* in, double* out,
+                     std::size_t n, int root);
+
+/// k-ary-tree sum-reduction of `n` doubles to rank 0 — the message-passing
+/// variant of the paper's 16-ary tree computation (Sec. VI-B).
+void reduce_kary(Endpoint& ep, const double* in, double* out, std::size_t n,
+                 int arity);
+
+/// reduce_binomial to rank 0 followed by bcast.
+void allreduce(Endpoint& ep, const double* in, double* out, std::size_t n);
+
+/// Root gathers `bytes` from every rank into recv (nranks * bytes).
+void gather(Endpoint& ep, const void* send, std::size_t bytes, void* recv,
+            int root);
+
+/// Every rank ends up with all contributions (gather + bcast).
+void allgather(Endpoint& ep, const void* send, std::size_t bytes, void* recv);
+
+}  // namespace narma::mp

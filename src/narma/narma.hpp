@@ -1,0 +1,20 @@
+// NARMA — Notified Access RMA runtime.
+//
+// Umbrella header: pulls in the full public API. Link against narma::narma.
+//
+//   #include "narma/narma.hpp"
+//
+//   int main() {
+//     narma::World world(4);
+//     world.run([](narma::Rank& self) { /* SPMD code */ });
+//   }
+#pragma once
+
+#include "common/stats.hpp"    // IWYU pragma: export
+#include "common/table.hpp"    // IWYU pragma: export
+#include "core/notify.hpp"     // IWYU pragma: export
+#include "core/world.hpp"      // IWYU pragma: export
+#include "model/loggp.hpp"     // IWYU pragma: export
+#include "mp/collectives.hpp"  // IWYU pragma: export
+#include "mp/endpoint.hpp"     // IWYU pragma: export
+#include "rma/window.hpp"      // IWYU pragma: export

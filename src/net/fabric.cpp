@@ -1,0 +1,42 @@
+#include "net/fabric.hpp"
+
+#include "net/nic.hpp"
+
+namespace narma::net {
+
+Fabric::Fabric(sim::Engine& engine, FabricParams params)
+    : engine_(engine), params_(params) {
+  NARMA_CHECK(params_.ranks_per_node >= 1);
+  const auto n = static_cast<std::size_t>(engine_.nranks());
+  channels_.resize(2 * n * n);
+  nics_.reserve(n);
+  for (int r = 0; r < engine_.nranks(); ++r)
+    nics_.push_back(std::make_unique<Nic>(*this, engine_.rank(r)));
+}
+
+Fabric::~Fabric() = default;
+
+Nic& Fabric::nic(int rank) {
+  NARMA_CHECK(rank >= 0 && rank < nranks()) << "rank " << rank;
+  return *nics_[static_cast<std::size_t>(rank)];
+}
+
+Time Fabric::schedule_transfer(int src, int dst, Time t_issue,
+                               std::size_t bytes, Transport transport,
+                               ChannelClass cls,
+                               std::function<void(Time)> on_deliver) {
+  const TransportTiming& tt = params_.timing(transport);
+  Channel& c = chan(src, dst, cls);
+  const Time start = std::max(t_issue, c.next_free);
+  const Time serialization =
+      tt.g + static_cast<Time>(tt.G_ps_per_byte * static_cast<double>(bytes));
+  const Time inject_end = start + serialization;
+  c.next_free = inject_end;
+  const Time deliver = inject_end + tt.L;
+  counters_.bytes_on_wire += bytes;
+  engine_.post(deliver,
+               [fn = std::move(on_deliver), deliver] { fn(deliver); });
+  return deliver;
+}
+
+}  // namespace narma::net

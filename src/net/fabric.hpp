@@ -1,0 +1,97 @@
+// The simulated interconnect.
+//
+// A Fabric owns one Nic per rank and the per-(source, destination) channel
+// state used to serialize injections. Transfers are charged LogGP costs from
+// FabricParams: a transfer of b bytes issued at local time t on a channel
+// whose previous injection ends at time f starts at max(t, f), occupies the
+// channel for g + G*b, and is delivered L later. Because each channel is
+// only ever injected into in nondecreasing virtual time, deliveries on a
+// channel are FIFO — the in-order guarantee of deterministically routed
+// Aries that the paper's notification ordering relies on.
+//
+// Channels come in two classes: kData carries rank-issued traffic (puts,
+// control messages, eager payloads) and kResp carries NIC-generated
+// responses (get/atomic replies), mirroring the request/response virtual
+// channels of real RDMA networks. Rank-issued traffic per channel is
+// injected in the issuing rank's program order; responses are generated in
+// global event order — both are monotone in virtual time, preserving the
+// FIFO invariant.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/params.hpp"
+#include "net/types.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace narma::net {
+
+class Nic;
+
+class Fabric {
+ public:
+  enum class ChannelClass { kData = 0, kResp = 1 };
+
+  Fabric(sim::Engine& engine, FabricParams params);
+  ~Fabric();
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  const FabricParams& params() const { return params_; }
+  int nranks() const { return engine_.nranks(); }
+
+  Nic& nic(int rank);
+
+  bool same_node(int a, int b) const {
+    return a / params_.ranks_per_node == b / params_.ranks_per_node;
+  }
+
+  /// Transport selection: intra-node pairs use shared memory; inter-node
+  /// transfers use FMA below the BTE threshold and BTE at or above it.
+  Transport transport_for(int src, int dst, std::size_t bytes) const {
+    if (same_node(src, dst)) return Transport::kShm;
+    return bytes >= params_.fma_bte_threshold ? Transport::kBte
+                                              : Transport::kFma;
+  }
+
+  /// Schedules a channel-serialized transfer of `bytes` from `src` to `dst`
+  /// issued at virtual time `t_issue`; `on_deliver` runs at the delivery
+  /// time (passed as argument). Returns the delivery time.
+  Time schedule_transfer(int src, int dst, Time t_issue, std::size_t bytes,
+                         Transport transport, ChannelClass cls,
+                         std::function<void(Time)> on_deliver);
+
+  FabricCounters& counters() { return counters_; }
+  const FabricCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = FabricCounters{}; }
+
+  /// Optional tracer; nullptr (default) disables all recording.
+  sim::Tracer* tracer() const { return tracer_; }
+  void set_tracer(sim::Tracer* t) { tracer_ = t; }
+
+ private:
+  struct Channel {
+    Time next_free = 0;
+  };
+
+  Channel& chan(int src, int dst, ChannelClass cls) {
+    const auto n = static_cast<std::size_t>(nranks());
+    return channels_[(static_cast<std::size_t>(cls) * n +
+                      static_cast<std::size_t>(src)) *
+                         n +
+                     static_cast<std::size_t>(dst)];
+  }
+
+  sim::Engine& engine_;
+  FabricParams params_;
+  std::vector<Channel> channels_;  // [class][src][dst]
+  std::vector<std::unique_ptr<Nic>> nics_;
+  FabricCounters counters_;
+  sim::Tracer* tracer_ = nullptr;
+};
+
+}  // namespace narma::net

@@ -1,0 +1,306 @@
+#include "net/nic.hpp"
+
+#include <bit>
+
+namespace narma::net {
+
+Nic::Nic(Fabric& fabric, sim::RankCtx& ctx)
+    : fabric_(fabric),
+      ctx_(ctx),
+      dest_cq_(fabric.params().dest_cq_capacity),
+      shm_ring_(fabric.params().shm_ring_capacity),
+      mailbox_(fabric.params().mailbox_capacity) {}
+
+// --- Registered memory -----------------------------------------------------
+
+MemKey Nic::register_memory(void* base, std::size_t bytes) {
+  NARMA_CHECK(base != nullptr || bytes == 0);
+  // Reuse a deregistered slot if available to keep the table small.
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    if (!regions_[i].valid) {
+      regions_[i] = {static_cast<std::byte*>(base), bytes, true};
+      return static_cast<MemKey>(i);
+    }
+  }
+  regions_.push_back({static_cast<std::byte*>(base), bytes, true});
+  return static_cast<MemKey>(regions_.size() - 1);
+}
+
+void Nic::deregister_memory(MemKey key) {
+  NARMA_CHECK(key < regions_.size() && regions_[key].valid)
+      << "deregistering invalid memory key " << key;
+  regions_[key].valid = false;
+}
+
+std::byte* Nic::resolve(MemKey key, std::uint64_t offset, std::size_t bytes) {
+  NARMA_CHECK(key < regions_.size() && regions_[key].valid)
+      << "remote access to invalid memory key " << key << " at rank "
+      << rank();
+  MemRegion& r = regions_[key];
+  NARMA_CHECK(offset + bytes <= r.bytes)
+      << "remote access out of bounds: offset " << offset << " + " << bytes
+      << " > region size " << r.bytes << " (rank " << rank() << ", key "
+      << key << ")";
+  return r.base + offset;
+}
+
+// --- Completion delivery ----------------------------------------------------
+
+void Nic::push_cqe(const Cqe& cqe) {
+  NARMA_CHECK(dest_cq_.try_push(cqe))
+      << "destination completion queue overflow at rank " << rank()
+      << " (capacity " << dest_cq_.capacity()
+      << "); like uGNI, CQ overflow is fatal — size the queue or consume "
+         "notifications faster";
+  ++fabric_.counters().notifications;
+  progress_.notify(fabric_.engine(), cqe.time);
+}
+
+void Nic::push_shm(const ShmNotification& n) {
+  NARMA_CHECK(shm_ring_.try_push(n))
+      << "shared-memory notification ring overflow at rank " << rank();
+  ++fabric_.counters().notifications;
+  progress_.notify(fabric_.engine(), n.time);
+}
+
+void Nic::push_msg(NetMsg msg) {
+  if (delivery_hook_ && delivery_hook_(std::move(msg))) return;
+  const Time t = msg.time;
+  NARMA_CHECK(mailbox_.try_push(std::move(msg)))
+      << "mailbox overflow at rank " << rank();
+  progress_.notify(fabric_.engine(), t);
+}
+
+void Nic::post_ack(int origin, Time deliver_time, Transport transport,
+                   PendingOps* pending) {
+  const Time ack = deliver_time + fabric_.params().timing(transport).ack_L;
+  ++fabric_.counters().acks;
+  Nic* origin_nic = &fabric_.nic(origin);
+  fabric_.engine().post(ack, [origin_nic, pending, ack] {
+    if (pending) ++pending->completed;
+    origin_nic->progress_.notify(origin_nic->fabric_.engine(), ack);
+  });
+}
+
+// --- RDMA -------------------------------------------------------------------
+
+void Nic::put(int target, MemKey key, std::uint64_t offset, const void* src,
+              std::size_t bytes, NotifyAttr na, PendingOps* pending) {
+  put_at(ctx_.now(), target, key, offset, src, bytes, na, pending);
+}
+
+void Nic::put_at(Time issue, int target, MemKey key, std::uint64_t offset,
+                 const void* src, std::size_t bytes, NotifyAttr na,
+                 PendingOps* pending) {
+  const Transport tr = fabric_.transport_for(rank(), target, bytes);
+  Nic* tgt = &fabric_.nic(target);
+  if (pending) ++pending->issued;
+  ++fabric_.counters().data_transfers;
+
+  const int src_rank = rank();
+  const Time deliver = fabric_.schedule_transfer(
+      src_rank, target, issue, bytes, tr, Fabric::ChannelClass::kData,
+      [tgt, key, offset, src, bytes, na](Time t) {
+        if (bytes > 0) {
+          std::byte* dst = tgt->resolve(key, offset, bytes);
+          std::memcpy(dst, src, bytes);
+        } else {
+          // Zero-byte puts still validate the target address (paper: the
+          // calls support zero-byte payloads, notification only).
+          (void)tgt->resolve(key, offset, 0);
+        }
+        if (na.notify)
+          tgt->push_cqe(Cqe{CqeKind::kPutNotify, na.imm,
+                            static_cast<std::uint32_t>(bytes), na.window, t});
+        if (na.remote_delivered) {
+          ++na.remote_delivered->completed;
+          tgt->progress_.notify(tgt->fabric_.engine(), t);
+        }
+      });
+  if (auto* tracer = fabric_.tracer())
+    tracer->flow(src_rank, target, "rdma",
+                 "put " + std::to_string(bytes) + "B", issue, deliver);
+  post_ack(src_rank, deliver, tr, pending);
+}
+
+void Nic::put_iov(int target, MemKey key,
+                  std::span<const IoSegment> segments, NotifyAttr na,
+                  PendingOps* pending) {
+  std::size_t total = 0;
+  for (const auto& s : segments) total += s.bytes;
+  const Transport tr = fabric_.transport_for(rank(), target, total);
+  Nic* tgt = &fabric_.nic(target);
+  if (pending) ++pending->issued;
+  ++fabric_.counters().data_transfers;
+
+  const int src_rank = rank();
+  // Segment list captured by value: the descriptors are consumed at issue,
+  // the referenced payloads at delivery (standard RDMA source semantics).
+  std::vector<IoSegment> segs(segments.begin(), segments.end());
+  const Time deliver = fabric_.schedule_transfer(
+      src_rank, target, ctx_.now(), total, tr, Fabric::ChannelClass::kData,
+      [tgt, key, segs = std::move(segs), na, total](Time t) {
+        for (const auto& s : segs) {
+          if (s.bytes == 0) continue;
+          std::byte* dst = tgt->resolve(key, s.offset, s.bytes);
+          std::memcpy(dst, s.src, s.bytes);
+        }
+        if (na.notify)
+          tgt->push_cqe(Cqe{CqeKind::kPutNotify, na.imm,
+                            static_cast<std::uint32_t>(total), na.window,
+                            t});
+        if (na.remote_delivered) {
+          ++na.remote_delivered->completed;
+          tgt->progress_.notify(tgt->fabric_.engine(), t);
+        }
+      });
+  if (auto* tracer = fabric_.tracer())
+    tracer->flow(src_rank, target, "rdma",
+                 "put_iov " + std::to_string(segments.size()) + "x",
+                 ctx_.now(), deliver);
+  post_ack(src_rank, deliver, tr, pending);
+}
+
+void Nic::get(int target, MemKey key, std::uint64_t offset, void* dst,
+              std::size_t bytes, NotifyAttr na, PendingOps* pending) {
+  const Transport tr = fabric_.transport_for(rank(), target, bytes);
+  Nic* tgt = &fabric_.nic(target);
+  Nic* self = this;
+  if (pending) ++pending->issued;
+  ++fabric_.counters().data_transfers;
+
+  const int origin = rank();
+  // Request header travels to the target; the target NIC reads the region,
+  // notifies (reliable network: notification as soon as the data has been
+  // read, paper Sec. VIII), and streams the response back on the response
+  // channel. Local completion fires when the response has fully arrived.
+  //
+  // The data is snapshotted at read time: once the get-notification is
+  // visible, the target may legally overwrite its buffer (that is the whole
+  // point of notified reads), so the in-flight response must not observe
+  // later writes.
+  fabric_.schedule_transfer(
+      origin, target, ctx_.now(), 0, tr, Fabric::ChannelClass::kData,
+      [self, tgt, origin, target, key, offset, dst, bytes, na, tr,
+       pending](Time t_req) {
+        auto wire = std::make_shared<std::vector<std::byte>>();
+        if (bytes > 0) {
+          const std::byte* s = tgt->resolve(key, offset, bytes);
+          wire->assign(s, s + bytes);
+        }
+        if (na.notify)
+          tgt->push_cqe(Cqe{CqeKind::kGetNotify, na.imm,
+                            static_cast<std::uint32_t>(bytes), na.window,
+                            t_req});
+        ++self->fabric_.counters().responses;
+        self->fabric_.schedule_transfer(
+            target, origin, t_req, bytes, tr, Fabric::ChannelClass::kResp,
+            [self, wire = std::move(wire), dst, bytes, pending](Time t_resp) {
+              if (bytes > 0) std::memcpy(dst, wire->data(), bytes);
+              if (pending) ++pending->completed;
+              self->progress_.notify(self->fabric_.engine(), t_resp);
+            });
+      });
+}
+
+void Nic::atomic(int target, MemKey key, std::uint64_t offset, AtomicOp op,
+                 std::int64_t operand, std::int64_t compare,
+                 std::int64_t* result, NotifyAttr na, PendingOps* pending) {
+  const Transport tr = fabric_.transport_for(rank(), target, sizeof(int64_t));
+  Nic* tgt = &fabric_.nic(target);
+  Nic* self = this;
+  if (pending) ++pending->issued;
+  ++fabric_.counters().data_transfers;
+
+  const int origin = rank();
+  const Time exec_cost = fabric_.params().atomic_exec;
+  fabric_.schedule_transfer(
+      origin, target, ctx_.now(), sizeof(std::int64_t), tr,
+      Fabric::ChannelClass::kData,
+      [self, tgt, origin, target, key, offset, op, operand, compare, result,
+       na, tr, pending, exec_cost](Time t_req) {
+        std::byte* loc = tgt->resolve(key, offset, sizeof(std::int64_t));
+        std::int64_t old;
+        std::memcpy(&old, loc, sizeof(old));
+        std::int64_t next = old;
+        switch (op) {
+          case AtomicOp::kAddI64: next = old + operand; break;
+          case AtomicOp::kAddF64: {
+            const double d =
+                std::bit_cast<double>(old) + std::bit_cast<double>(operand);
+            next = std::bit_cast<std::int64_t>(d);
+            break;
+          }
+          case AtomicOp::kSwapI64: next = operand; break;
+          case AtomicOp::kCasI64:
+            next = (old == compare) ? operand : old;
+            break;
+        }
+        std::memcpy(loc, &next, sizeof(next));
+        const Time t_done = t_req + exec_cost;
+        if (na.notify)
+          tgt->push_cqe(Cqe{CqeKind::kAtomicNotify, na.imm,
+                            sizeof(std::int64_t), na.window, t_done});
+        ++self->fabric_.counters().responses;
+        self->fabric_.schedule_transfer(
+            target, origin, t_done, sizeof(std::int64_t), tr,
+            Fabric::ChannelClass::kResp,
+            [self, result, old, pending](Time t_resp) {
+              if (result) *result = old;
+              if (pending) ++pending->completed;
+              self->progress_.notify(self->fabric_.engine(), t_resp);
+            });
+      });
+}
+
+// --- Control messages ---------------------------------------------------------
+
+void Nic::send_msg(int target, NetMsg msg) {
+  const std::size_t wire =
+      fabric_.params().ctrl_msg_bytes + msg.payload.size();
+  const Transport tr = fabric_.transport_for(rank(), target, wire);
+  Nic* tgt = &fabric_.nic(target);
+  ++fabric_.counters().ctrl_transfers;
+  msg.src = rank();
+  const std::uint32_t kind = msg.kind;
+  auto shared = std::make_shared<NetMsg>(std::move(msg));
+  const Time issue = ctx_.now();
+  const Time deliver = fabric_.schedule_transfer(
+      rank(), target, issue, wire, tr, Fabric::ChannelClass::kData,
+      [tgt, shared](Time t) {
+        shared->time = t;
+        tgt->push_msg(std::move(*shared));
+      });
+  if (auto* tracer = fabric_.tracer())
+    tracer->flow(rank(), target, "ctrl",
+                 "msg kind=0x" + std::to_string(kind), issue, deliver);
+}
+
+// --- Shared-memory notification ring ------------------------------------------
+
+void Nic::send_shm_notification(int target, ShmNotification n,
+                                PendingOps* pending) {
+  NARMA_CHECK(fabric_.same_node(rank(), target))
+      << "shm notification to remote node (rank " << rank() << " -> "
+      << target << ")";
+  Nic* tgt = &fabric_.nic(target);
+  if (pending) ++pending->issued;
+  // One cache line on the intra-node interconnect.
+  const Time deliver = fabric_.schedule_transfer(
+      rank(), target, ctx_.now(), 64, Transport::kShm,
+      Fabric::ChannelClass::kData, [tgt, n](Time t) {
+        ShmNotification entry = n;
+        entry.time = t;
+        tgt->push_shm(entry);
+      });
+  if (auto* tracer = fabric_.tracer())
+    tracer->flow(rank(), target, "shm", "notification", ctx_.now(), deliver);
+  // Coherent shared memory: locally complete at delivery.
+  Nic* self = this;
+  fabric_.engine().post(deliver, [self, pending, deliver] {
+    if (pending) ++pending->completed;
+    self->progress_.notify(self->fabric_.engine(), deliver);
+  });
+}
+
+}  // namespace narma::net

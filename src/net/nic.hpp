@@ -1,0 +1,187 @@
+// Per-rank simulated network interface.
+//
+// Models the slice of Cray uGNI the paper's implementation consumes:
+//
+//  * registered memory regions addressable by <MemKey, offset> from remote
+//    ranks (like uGNI memory handles);
+//  * RDMA put/get and 8-byte remote atomics, all nonblocking with
+//    completion tracked through caller-owned PendingOps counters (flush
+//    waits for issued == completed, like DMAPP gsync);
+//  * an optional 32-bit immediate per operation that is posted to the
+//    *destination* completion queue on completion — the primitive Notified
+//    Access is built on (uGNI destination CQs / RDMA-write-with-immediate);
+//  * a control-message mailbox used by the two-sided and synchronization
+//    protocol layers (models mailbox/SMSG messaging);
+//  * a shared-memory notification ring (the XPMEM path of paper Sec. IV-C)
+//    whose cache-line-sized entries can carry small payloads inline.
+//
+// The NIC charges only "hardware" costs (LogGP L, G, g and ack latency);
+// software overheads (matching, copies, call overheads) are charged by the
+// protocol layers so that each scheme pays exactly the costs the paper
+// attributes to it.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+
+#include "common/ring_buffer.hpp"
+#include "net/fabric.hpp"
+#include "net/params.hpp"
+#include "net/types.hpp"
+#include "sim/engine.hpp"
+
+namespace narma::net {
+
+class Nic {
+ public:
+  Nic(Fabric& fabric, sim::RankCtx& ctx);
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  int rank() const { return ctx_.id(); }
+  sim::RankCtx& ctx() { return ctx_; }
+  Fabric& fabric() { return fabric_; }
+  sim::Trigger& progress() { return progress_; }
+
+  // --- Registered memory -------------------------------------------------
+
+  MemKey register_memory(void* base, std::size_t bytes);
+  void deregister_memory(MemKey key);
+
+  /// Resolves a remote-addressable location, bounds-checked.
+  std::byte* resolve(MemKey key, std::uint64_t offset, std::size_t bytes);
+
+  // --- RDMA data movement -------------------------------------------------
+
+  /// Notification attributes for one-sided operations. When `notify` is
+  /// set, completion posts a Cqe carrying `imm` to the *target's*
+  /// destination CQ (for puts/atomics: when the data is committed at the
+  /// target; for gets: when the data has been read — the reliable-network
+  /// case of paper Sec. VIII).
+  struct NotifyAttr {
+    bool notify = false;
+    std::uint32_t imm = 0;
+    std::uint64_t window = 0;
+    /// Optional *target-side* delivery tracking: completed is incremented
+    /// (and the target's progress trigger notified) when the data commits
+    /// at the target. Models receiver-NIC completions (e.g. RDMA write
+    /// with immediate); the two-sided rendezvous protocol uses it.
+    PendingOps* remote_delivered = nullptr;
+  };
+
+  /// Nonblocking RDMA write of the caller's buffer into (target, key,
+  /// offset). The source buffer must remain valid and unmodified until the
+  /// operation completes locally (standard RDMA semantics).
+  void put(int target, MemKey key, std::uint64_t offset, const void* src,
+           std::size_t bytes, NotifyAttr na, PendingOps* pending);
+
+  /// put() with an explicit issue time — used by event-context protocol
+  /// handlers (asynchronous software progression), where the owning rank's
+  /// clock is not the right injection timestamp.
+  void put_at(Time issue, int target, MemKey key, std::uint64_t offset,
+              const void* src, std::size_t bytes, NotifyAttr na,
+              PendingOps* pending);
+
+  /// One segment of a gathered (noncontiguous) RDMA write.
+  struct IoSegment {
+    std::uint64_t offset;  // destination offset within the region
+    const void* src;
+    std::size_t bytes;
+  };
+
+  /// Noncontiguous RDMA write: all segments move in one network operation
+  /// (one per-message gap, per-byte cost on the total, one completion, one
+  /// optional notification covering the whole access) — the transfer shape
+  /// of an MPI derived datatype handled by the NIC's DMA engine.
+  void put_iov(int target, MemKey key, std::span<const IoSegment> segments,
+               NotifyAttr na, PendingOps* pending);
+
+  /// Nonblocking RDMA read of (target, key, offset) into the caller's
+  /// buffer. The destination buffer must not be read until completion.
+  void get(int target, MemKey key, std::uint64_t offset, void* dst,
+           std::size_t bytes, NotifyAttr na, PendingOps* pending);
+
+  enum class AtomicOp : std::uint8_t {
+    kAddI64,   // fetch-and-add, 64-bit integer
+    kAddF64,   // fetch-and-add, double
+    kSwapI64,  // unconditional swap
+    kCasI64,   // compare-and-swap (compare field used)
+  };
+
+  /// Nonblocking 8-byte remote atomic. The previous value at the target is
+  /// written to *result (if non-null) when the response arrives.
+  void atomic(int target, MemKey key, std::uint64_t offset, AtomicOp op,
+              std::int64_t operand, std::int64_t compare, std::int64_t* result,
+              NotifyAttr na, PendingOps* pending);
+
+  // --- Control messages (mailbox) -----------------------------------------
+
+  /// Sends a small typed control message (modeled as ctrl_msg_bytes on the
+  /// wire, plus the payload if any). Delivered to the target's mailbox.
+  void send_msg(int target, NetMsg msg);
+
+  // --- Shared-memory notification ring (XPMEM path) -----------------------
+
+  /// Enqueues a cache-line-sized notification at an intra-node target.
+  /// Callers place small payloads in n.inline_data before the call; for
+  /// large accesses they put() the data first (same channel → FIFO ensures
+  /// the data is committed before the notification is visible).
+  void send_shm_notification(int target, ShmNotification n,
+                             PendingOps* pending);
+
+  // --- Queues consumed by protocol layers ----------------------------------
+
+  RingBuffer<Cqe>& dest_cq() { return dest_cq_; }
+  RingBuffer<ShmNotification>& shm_ring() { return shm_ring_; }
+  RingBuffer<NetMsg>& mailbox() { return mailbox_; }
+
+  /// Installs a delivery hook invoked (in event context) for every incoming
+  /// control message; returning true consumes the message instead of
+  /// enqueueing it. Models an asynchronous software progression agent.
+  void set_delivery_hook(std::function<bool(NetMsg&&)> hook) {
+    delivery_hook_ = std::move(hook);
+  }
+
+  // --- Waiting --------------------------------------------------------------
+
+  /// Blocks this rank until pred() holds, processing simulation events in
+  /// between. The predicate is evaluated with all events <= the rank's
+  /// clock applied.
+  template <class Pred>
+  void wait_until(Pred pred, const char* label) {
+    ctx_.drain();
+    while (!pred()) ctx_.wait(progress_, label);
+  }
+
+  /// Waits for all operations tracked by `po` to complete.
+  void flush(PendingOps& po, const char* label = "nic-flush") {
+    wait_until([&po] { return po.all_done(); }, label);
+  }
+
+ private:
+  friend class Fabric;
+
+  void push_cqe(const Cqe& cqe);
+  void push_shm(const ShmNotification& n);
+  void push_msg(NetMsg msg);
+  void post_ack(int origin, Time deliver_time, Transport transport,
+                PendingOps* pending);
+
+  struct MemRegion {
+    std::byte* base = nullptr;
+    std::size_t bytes = 0;
+    bool valid = false;
+  };
+
+  Fabric& fabric_;
+  sim::RankCtx& ctx_;
+  sim::Trigger progress_;
+  std::vector<MemRegion> regions_;
+  RingBuffer<Cqe> dest_cq_;
+  RingBuffer<ShmNotification> shm_ring_;
+  RingBuffer<NetMsg> mailbox_;
+  std::function<bool(NetMsg&&)> delivery_hook_;
+};
+
+}  // namespace narma::net

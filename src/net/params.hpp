@@ -1,0 +1,71 @@
+// Fabric timing and sizing parameters.
+//
+// The three transports mirror the paper's Table I:
+//
+//            |  Shared memory |  uGNI FMA   |  uGNI BTE
+//   L        |  0.25 us       |  1.02 us    |  1.32 us
+//   G        |  0.08 ns/B     |  0.105 ns/B |  0.101 ns/B
+//
+// FMA (Fast Memory Access) serves small transfers; BTE (Block Transfer
+// Engine) serves large ones and is selected above `fma_bte_threshold`, as on
+// Cray XC30. Intra-node pairs use the shared-memory (XPMEM-like) transport.
+#pragma once
+
+#include <cstddef>
+
+#include "common/time.hpp"
+
+namespace narma::net {
+
+enum class Transport { kShm = 0, kFma = 1, kBte = 2 };
+
+inline const char* to_string(Transport t) {
+  switch (t) {
+    case Transport::kShm: return "shm";
+    case Transport::kFma: return "fma";
+    case Transport::kBte: return "bte";
+  }
+  return "?";
+}
+
+struct TransportTiming {
+  Time L;                 // zero-byte one-way latency
+  double G_ps_per_byte;   // per-byte serialization cost (picoseconds/byte)
+  Time g;                 // per-message injection gap at the NIC
+  Time ack_L;             // latency of the hardware delivery ack back to the
+                          // origin (0 for coherent shared memory)
+};
+
+struct FabricParams {
+  TransportTiming shm{us(0.25), 80.0, ns(5), ps(0)};
+  TransportTiming fma{us(1.02), 105.0, ns(20), us(1.02)};
+  TransportTiming bte{us(1.32), 101.0, ns(50), us(1.32)};
+
+  /// Transfers of at least this many bytes use BTE instead of FMA.
+  std::size_t fma_bte_threshold = 4096;
+
+  /// Ranks r and s share a node (and use the shm transport) iff
+  /// r / ranks_per_node == s / ranks_per_node.
+  int ranks_per_node = 1;
+
+  /// Execution time of an atomic operation at the target NIC.
+  Time atomic_exec = ns(25);
+
+  /// Modeled wire size of a control message (headers, mailbox entries).
+  std::size_t ctrl_msg_bytes = 64;
+
+  std::size_t dest_cq_capacity = 1 << 16;
+  std::size_t mailbox_capacity = 1 << 16;
+  std::size_t shm_ring_capacity = 1 << 14;
+
+  const TransportTiming& timing(Transport t) const {
+    switch (t) {
+      case Transport::kShm: return shm;
+      case Transport::kBte: return bte;
+      case Transport::kFma: return fma;
+    }
+    return fma;
+  }
+};
+
+}  // namespace narma::net

@@ -1,0 +1,97 @@
+// Wire-level types shared by the NIC, the fabric, and the protocol layers.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace narma::net {
+
+/// Registered-memory handle, scoped to the owning rank.
+using MemKey = std::uint32_t;
+constexpr MemKey kInvalidMemKey = 0xffffffffu;
+
+/// 32-bit immediate attached to an RDMA operation. Following the paper's
+/// uGNI encoding ("we encode the source rank and tag into the first and last
+/// two bytes"), the high half carries the source rank and the low half the
+/// tag. This is also why the number of significant tag bits is limited — the
+/// strawman interface inherits the hardware constraint.
+constexpr int kTagBits = 16;
+constexpr std::uint32_t kMaxTag = (1u << kTagBits) - 1;
+
+constexpr std::uint32_t encode_imm(int source_rank, std::uint32_t tag) {
+  return (static_cast<std::uint32_t>(source_rank) << kTagBits) |
+         (tag & kMaxTag);
+}
+constexpr int imm_source(std::uint32_t imm) {
+  return static_cast<int>(imm >> kTagBits);
+}
+constexpr std::uint32_t imm_tag(std::uint32_t imm) { return imm & kMaxTag; }
+
+enum class CqeKind : std::uint8_t {
+  kPutNotify,     // a notified write committed to local memory
+  kGetNotify,     // a notified read of local memory completed
+  kAtomicNotify,  // a notified atomic committed to local memory
+};
+
+/// Destination-completion-queue entry (the uGNI-like notification path).
+struct Cqe {
+  CqeKind kind;
+  std::uint32_t imm;    // encoded <source, tag>
+  std::uint32_t bytes;  // payload size of the triggering access
+  std::uint64_t window; // protocol-layer cookie (window id)
+  Time time;            // virtual delivery time
+};
+
+/// Shared-memory notification ring entry (the XPMEM-like path, paper
+/// Sec. IV-C): exactly one cache line carrying source, tag, destination
+/// offset and — for small puts — the payload itself ("inline transfer").
+struct ShmNotification {
+  std::uint32_t imm;
+  std::uint64_t window;
+  MemKey key;
+  std::uint64_t offset;     // destination offset within the region
+  std::uint32_t bytes;      // total payload size of the access
+  std::uint8_t inline_len;  // bytes carried inline (0 = data already placed)
+  std::array<std::byte, 32> inline_data;
+  Time time;
+};
+
+constexpr std::size_t kShmInlineCapacity =
+    sizeof(ShmNotification::inline_data);
+
+/// Small typed control message (mailbox entry). The protocol layers define
+/// the `kind` space; h0..h3 carry protocol headers; `payload` carries eager
+/// message data.
+struct NetMsg {
+  int src = -1;
+  std::uint32_t kind = 0;
+  std::uint64_t h0 = 0, h1 = 0, h2 = 0, h3 = 0;
+  std::vector<std::byte> payload;
+  Time time = 0;
+};
+
+/// Completion tracking for nonblocking one-sided operations. The issuing
+/// layer owns one counter per (window, target) and flush simply waits until
+/// issued == completed.
+struct PendingOps {
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  bool all_done() const { return issued == completed; }
+};
+
+/// Wire traffic statistics; tests use these to verify the paper's Figure 2
+/// transaction counts, and benchmarks report them as sanity checks.
+struct FabricCounters {
+  std::uint64_t data_transfers = 0;  // puts / gets payload movements
+  std::uint64_t ctrl_transfers = 0;  // mailbox messages (headers, eager)
+  std::uint64_t responses = 0;       // get/atomic responses
+  std::uint64_t acks = 0;            // delivery acks for local completion
+  std::uint64_t notifications = 0;   // CQEs + shm-ring entries delivered
+  std::uint64_t bytes_on_wire = 0;
+};
+
+}  // namespace narma::net

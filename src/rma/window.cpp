@@ -1,0 +1,322 @@
+#include "rma/window.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "mp/collectives.hpp"
+
+namespace narma::rma {
+
+namespace {
+constexpr std::uint32_t kPscwKind = 0x0201;
+constexpr std::uint64_t kSubPost = 0;
+constexpr std::uint64_t kSubComplete = 1;
+}  // namespace
+
+// -------------------------------------------------------------- WinManager --
+
+WinManager::WinManager(net::MsgRouter& router, mp::Endpoint& ep,
+                       RmaParams params)
+    : router_(router), ep_(ep), params_(params) {
+  router_.register_kind(kPscwKind,
+                        [this](net::NetMsg&& m) { on_pscw(std::move(m)); });
+}
+
+WinManager::~WinManager() {
+  NARMA_CHECK(windows_.empty())
+      << "WinManager destroyed with " << windows_.size()
+      << " window(s) still alive at rank " << ep_.rank();
+  router_.unregister_kind(kPscwKind);
+}
+
+void WinManager::on_pscw(net::NetMsg&& m) {
+  auto it = windows_.find(m.h0);
+  NARMA_CHECK(it != windows_.end())
+      << "PSCW message for unknown window " << m.h0 << " at rank "
+      << ep_.rank();
+  if (m.h1 == kSubPost) {
+    it->second->on_post(m.src);
+  } else {
+    it->second->on_complete(m.src);
+  }
+}
+
+std::unique_ptr<Window> WinManager::create(void* base, std::size_t bytes,
+                                           std::size_t disp_unit) {
+  auto win = std::unique_ptr<Window>(new Window(
+      *this, next_win_id_++, base, bytes, disp_unit, {}));
+  return win;
+}
+
+std::unique_ptr<Window> WinManager::allocate(std::size_t bytes,
+                                             std::size_t disp_unit) {
+  std::vector<std::byte> storage(bytes, std::byte{0});
+  void* base = storage.data();
+  auto win = std::unique_ptr<Window>(new Window(
+      *this, next_win_id_++, base, bytes, disp_unit, std::move(storage)));
+  return win;
+}
+
+// ------------------------------------------------------------------ Window --
+
+Window::Window(WinManager& mgr, std::uint64_t id, void* base,
+               std::size_t bytes, std::size_t disp_unit,
+               std::vector<std::byte> owned)
+    : mgr_(mgr),
+      router_(mgr.router()),
+      ep_(mgr.endpoint()),
+      id_(id),
+      base_(base),
+      bytes_(bytes),
+      disp_unit_(disp_unit == 0 ? 1 : disp_unit),
+      owned_(std::move(owned)) {
+  const auto n = static_cast<std::size_t>(ep_.nranks());
+  pending_.resize(n);
+  posts_from_.assign(n, 0);
+  completes_from_.assign(n, 0);
+
+  // Register with the manager before the collective key exchange: a peer
+  // can finish the exchange first and immediately send PSCW traffic here.
+  mgr_.windows_.emplace(id_, this);
+
+  // Collective setup: register the local region and the lock word, and
+  // allgather both keys so every rank can address every other rank's copy.
+  const net::MemKey keys[2] = {
+      nic().register_memory(base_, bytes_),
+      nic().register_memory(&lock_word_, sizeof(lock_word_))};
+  std::vector<net::MemKey> gathered(2 * n);
+  mp::allgather(ep_, keys, sizeof(keys), gathered.data());
+  keys_.resize(n);
+  lock_keys_.resize(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    keys_[r] = gathered[2 * r];
+    lock_keys_[r] = gathered[2 * r + 1];
+  }
+  held_locks_.assign(n, LockKind::kShared);
+  lock_held_.assign(n, 0);
+}
+
+Window::~Window() {
+  // MPI_Win_free semantics: collective and synchronizing. All outstanding
+  // operations must be complete; flush for safety, then barrier.
+  flush_all();
+  mp::barrier(ep_);
+  nic().deregister_memory(keys_[static_cast<std::size_t>(rank())]);
+  nic().deregister_memory(lock_keys_[static_cast<std::size_t>(rank())]);
+  mgr_.windows_.erase(id_);
+}
+
+void Window::put(const void* src, std::size_t bytes, int target,
+                 std::uint64_t target_disp) {
+  router_.nic().ctx().advance(mgr_.params().o_put);
+  nic().put(target, remote_key(target), byte_offset(target_disp), src, bytes,
+            {}, &pending(target));
+}
+
+void Window::put_strided(const void* src, std::size_t block_bytes,
+                         std::size_t nblocks, std::size_t src_stride_bytes,
+                         int target, std::uint64_t target_disp,
+                         std::uint64_t target_stride) {
+  router_.nic().ctx().advance(mgr_.params().o_put);
+  std::vector<net::Nic::IoSegment> segs;
+  segs.reserve(nblocks);
+  const auto* base = static_cast<const std::byte*>(src);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    segs.push_back({byte_offset(target_disp + b * target_stride),
+                    base + b * src_stride_bytes, block_bytes});
+  }
+  nic().put_iov(target, remote_key(target), segs, {}, &pending(target));
+}
+
+void Window::get(void* dst, std::size_t bytes, int target,
+                 std::uint64_t target_disp) {
+  router_.nic().ctx().advance(mgr_.params().o_put);
+  nic().get(target, remote_key(target), byte_offset(target_disp), dst, bytes,
+            {}, &pending(target));
+}
+
+void Window::fetch_add_i64(int target, std::uint64_t target_disp,
+                           std::int64_t v, std::int64_t* result) {
+  router_.nic().ctx().advance(mgr_.params().o_atomic);
+  nic().atomic(target, remote_key(target), byte_offset(target_disp),
+               net::Nic::AtomicOp::kAddI64, v, 0, result, {},
+               &pending(target));
+}
+
+void Window::fetch_add_f64(int target, std::uint64_t target_disp, double v,
+                           double* result) {
+  router_.nic().ctx().advance(mgr_.params().o_atomic);
+  // The NIC's atomic unit is 8 bytes; reinterpret through the result slot.
+  nic().atomic(target, remote_key(target), byte_offset(target_disp),
+               net::Nic::AtomicOp::kAddF64, std::bit_cast<std::int64_t>(v), 0,
+               reinterpret_cast<std::int64_t*>(result), {}, &pending(target));
+}
+
+void Window::compare_swap_i64(int target, std::uint64_t target_disp,
+                              std::int64_t compare, std::int64_t desired,
+                              std::int64_t* result) {
+  router_.nic().ctx().advance(mgr_.params().o_atomic);
+  nic().atomic(target, remote_key(target), byte_offset(target_disp),
+               net::Nic::AtomicOp::kCasI64, desired, compare, result, {},
+               &pending(target));
+}
+
+void Window::flush(int target) {
+  sim::Tracer* tracer = nic().fabric().tracer();
+  const Time begin = router_.nic().ctx().now();
+  router_.nic().ctx().advance(mgr_.params().o_flush);
+  router_.wait_progress(
+      [this, target] { return pending(target).all_done(); }, "rma-flush");
+  if (tracer)
+    tracer->span(rank(), "rma", "flush", begin, router_.nic().ctx().now());
+}
+
+void Window::flush_all() {
+  router_.nic().ctx().advance(mgr_.params().o_flush);
+  router_.wait_progress(
+      [this] {
+        for (const auto& p : pending_)
+          if (!p.all_done()) return false;
+        return true;
+      },
+      "rma-flush-all");
+}
+
+void Window::fence() {
+  router_.nic().ctx().advance(mgr_.params().o_sync);
+  flush_all();
+  mp::barrier(ep_);
+}
+
+// PSCW ------------------------------------------------------------------------
+
+void Window::post(std::span<const int> origin_group) {
+  router_.nic().ctx().advance(mgr_.params().o_sync);
+  exposure_group_.assign(origin_group.begin(), origin_group.end());
+  for (int origin : exposure_group_) {
+    net::NetMsg m;
+    m.kind = kPscwKind;
+    m.h0 = id_;
+    m.h1 = kSubPost;
+    router_.nic().send_msg(origin, std::move(m));
+  }
+}
+
+void Window::start(std::span<const int> target_group) {
+  router_.nic().ctx().advance(mgr_.params().o_sync);
+  access_group_.assign(target_group.begin(), target_group.end());
+  // Wait for a post from every target in the group.
+  router_.wait_progress(
+      [this] {
+        for (int t : access_group_)
+          if (posts_from_[static_cast<std::size_t>(t)] == 0) return false;
+        return true;
+      },
+      "pscw-start");
+  for (int t : access_group_) --posts_from_[static_cast<std::size_t>(t)];
+}
+
+void Window::complete() {
+  router_.nic().ctx().advance(mgr_.params().o_sync);
+  for (int t : access_group_) flush(t);
+  for (int t : access_group_) {
+    net::NetMsg m;
+    m.kind = kPscwKind;
+    m.h0 = id_;
+    m.h1 = kSubComplete;
+    router_.nic().send_msg(t, std::move(m));
+  }
+  access_group_.clear();
+}
+
+bool Window::test_pscw() {
+  router_.progress();
+  for (int o : exposure_group_)
+    if (completes_from_[static_cast<std::size_t>(o)] == 0) return false;
+  return true;
+}
+
+void Window::wait() {
+  router_.nic().ctx().advance(mgr_.params().o_sync);
+  router_.wait_progress(
+      [this] {
+        for (int o : exposure_group_)
+          if (completes_from_[static_cast<std::size_t>(o)] == 0) return false;
+        return true;
+      },
+      "pscw-wait");
+  for (int o : exposure_group_) --completes_from_[static_cast<std::size_t>(o)];
+  exposure_group_.clear();
+}
+
+// Passive target --------------------------------------------------------------
+
+void Window::lock(LockKind kind, int target) {
+  auto& held = lock_held_[static_cast<std::size_t>(target)];
+  NARMA_CHECK(!held) << "lock(" << target << ") while already holding it";
+  router_.nic().ctx().advance(mgr_.params().o_sync);
+  const net::MemKey lkey = lock_keys_[static_cast<std::size_t>(target)];
+  net::PendingOps po;
+  Time backoff = ns(200);
+  for (;;) {
+    std::int64_t old = 0;
+    if (kind == LockKind::kExclusive) {
+      // CAS 0 -> -1.
+      nic().atomic(target, lkey, 0, net::Nic::AtomicOp::kCasI64, -1, 0, &old,
+                   {}, &po);
+      nic().flush(po, "rma-lock-excl");
+      if (old == 0) break;
+    } else {
+      // Optimistic reader count; back out if an exclusive holder appeared.
+      nic().atomic(target, lkey, 0, net::Nic::AtomicOp::kAddI64, 1, 0, &old,
+                   {}, &po);
+      nic().flush(po, "rma-lock-shared");
+      if (old >= 0) break;
+      nic().atomic(target, lkey, 0, net::Nic::AtomicOp::kAddI64, -1, 0,
+                   nullptr, {}, &po);
+      nic().flush(po, "rma-lock-shared-undo");
+    }
+    router_.nic().ctx().yield_until(router_.nic().ctx().now() + backoff,
+                                    "rma-lock-backoff");
+    backoff = std::min<Time>(backoff * 2, us(10));
+  }
+  held = 1;
+  held_locks_[static_cast<std::size_t>(target)] = kind;
+}
+
+void Window::unlock(int target) {
+  auto& held = lock_held_[static_cast<std::size_t>(target)];
+  NARMA_CHECK(held) << "unlock(" << target << ") without holding the lock";
+  // Remote-complete the epoch's operations before releasing.
+  flush(target);
+  const net::MemKey lkey = lock_keys_[static_cast<std::size_t>(target)];
+  net::PendingOps po;
+  if (held_locks_[static_cast<std::size_t>(target)] == LockKind::kExclusive) {
+    std::int64_t old = 0;
+    nic().atomic(target, lkey, 0, net::Nic::AtomicOp::kCasI64, 0, -1, &old,
+                 {}, &po);
+    nic().flush(po, "rma-unlock-excl");
+    NARMA_CHECK(old == -1) << "exclusive lock word corrupted: " << old;
+  } else {
+    nic().atomic(target, lkey, 0, net::Nic::AtomicOp::kAddI64, -1, 0, nullptr,
+                 {}, &po);
+    nic().flush(po, "rma-unlock-shared");
+  }
+  held = 0;
+}
+
+void Window::lock_all() {
+  for (int t = 0; t < nranks(); ++t) lock(LockKind::kShared, t);
+}
+
+void Window::unlock_all() {
+  for (int t = 0; t < nranks(); ++t) unlock(t);
+}
+
+void Window::on_post(int src) { ++posts_from_[static_cast<std::size_t>(src)]; }
+
+void Window::on_complete(int src) {
+  ++completes_from_[static_cast<std::size_t>(src)];
+}
+
+}  // namespace narma::rma

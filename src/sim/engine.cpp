@@ -1,0 +1,165 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace narma::sim {
+
+// ---------------------------------------------------------------- Trigger --
+
+void Trigger::notify(Engine& eng, Time t) {
+  if (waiters_.empty()) return;
+  // Swap out first: waking a rank must not re-enter this waiter list.
+  std::vector<int> woken;
+  woken.swap(waiters_);
+  for (int r : woken) eng.wake(r, t);
+}
+
+// ---------------------------------------------------------------- RankCtx --
+
+int RankCtx::nranks() const { return engine_->nranks(); }
+
+void RankCtx::drain() { engine_->execute_due(clock_); }
+
+void RankCtx::yield_until(Time t, const char* label) {
+  advance_to(t);
+  auto& s = engine_->slot(id_);
+  s.state = detail::RankState::kReady;
+  s.resume_time = clock_;
+  s.block_label = label;
+  engine_->yield_to_engine(id_);
+  drain();
+}
+
+void RankCtx::wait(Trigger& trg, const char* label) {
+  // Register before yielding: between the caller's predicate check and this
+  // registration no other simulation thread can run, so no wakeup is lost.
+  trg.waiters_.push_back(id_);
+  auto& s = engine_->slot(id_);
+  s.state = detail::RankState::kBlocked;
+  s.resume_time = Engine::kNever;
+  s.block_label = label;
+  engine_->yield_to_engine(id_);
+  drain();
+}
+
+// ----------------------------------------------------------------- Engine --
+
+Engine::Engine(int nranks) : slots_(static_cast<std::size_t>(nranks)) {
+  NARMA_CHECK(nranks >= 1) << "engine needs at least one rank";
+  for (int i = 0; i < nranks; ++i)
+    slots_[static_cast<std::size_t>(i)].ctx =
+        std::make_unique<RankCtx>(*this, i);
+}
+
+Engine::~Engine() {
+  for (auto& s : slots_)
+    if (s.thread.joinable()) s.thread.join();
+}
+
+void Engine::post(Time t, std::function<void()> fn) {
+  heap_.push(detail::Event{t, next_seq_++, std::move(fn)});
+}
+
+void Engine::yield_to_engine(int rank_id) {
+  auto& s = slot(rank_id);
+  engine_sem_.release();
+  s.resume.acquire();
+  s.state = detail::RankState::kRunning;
+}
+
+void Engine::resume_rank(detail::RankSlot& s) {
+  s.ctx->advance_to(s.resume_time);
+  s.state = detail::RankState::kRunning;
+  s.resume.release();
+  engine_sem_.acquire();
+}
+
+void Engine::wake(int rank_id, Time t) {
+  auto& s = slot(rank_id);
+  // Spurious notify on an already-ready or running rank is harmless; only
+  // blocked ranks transition.
+  if (s.state != detail::RankState::kBlocked) return;
+  s.state = detail::RankState::kReady;
+  s.resume_time = std::max(s.ctx->now(), t);
+}
+
+void Engine::execute_due(Time horizon) {
+  // Event handlers may post new events at or before the horizon; the loop
+  // re-checks the heap top each iteration.
+  while (!heap_.empty() && heap_.top().time <= horizon) {
+    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+    // so copy the function handle instead (cheap: one shared allocation).
+    detail::Event ev = heap_.top();
+    heap_.pop();
+    ++events_executed_;
+    ev.fn();
+  }
+}
+
+void Engine::run(const std::function<void(RankCtx&)>& rank_main) {
+  NARMA_CHECK(!running_) << "Engine::run may only be called once";
+  running_ = true;
+
+  for (auto& s : slots_) {
+    s.state = detail::RankState::kReady;
+    s.resume_time = 0;
+    s.thread = std::thread([this, &s, &rank_main] {
+      s.resume.acquire();
+      s.state = detail::RankState::kRunning;
+      rank_main(*s.ctx);
+      s.state = detail::RankState::kFinished;
+      engine_sem_.release();
+    });
+  }
+
+  int unfinished = nranks();
+  while (unfinished > 0) {
+    // Pick the ready rank with the smallest (resume_time, id).
+    detail::RankSlot* best = nullptr;
+    for (auto& s : slots_) {
+      if (s.state != detail::RankState::kReady) continue;
+      if (!best || s.resume_time < best->resume_time) best = &s;
+    }
+
+    if (!heap_.empty() &&
+        (!best || heap_.top().time <= best->resume_time)) {
+      // Hardware events run before any rank that would resume at the same
+      // instant, so a resuming rank observes everything <= its clock.
+      detail::Event ev = heap_.top();
+      heap_.pop();
+      ++events_executed_;
+      ev.fn();
+      continue;
+    }
+
+    if (!best) deadlock_dump();
+
+    resume_rank(*best);
+    if (best->state == detail::RankState::kFinished) --unfinished;
+  }
+
+  for (auto& s : slots_)
+    if (s.thread.joinable()) s.thread.join();
+}
+
+void Engine::deadlock_dump() {
+  std::fprintf(stderr,
+               "narma: simulation deadlock — no ready rank, no pending "
+               "event. Rank states:\n");
+  for (int i = 0; i < nranks(); ++i) {
+    const auto& s = slot(i);
+    const char* st = "?";
+    switch (s.state) {
+      case detail::RankState::kReady: st = "ready"; break;
+      case detail::RankState::kRunning: st = "running"; break;
+      case detail::RankState::kBlocked: st = "blocked"; break;
+      case detail::RankState::kFinished: st = "finished"; break;
+    }
+    std::fprintf(stderr, "  rank %d: %-8s clock=%.3fus  at: %s\n", i, st,
+                 to_us(s.ctx->now()), s.block_label);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace narma::sim

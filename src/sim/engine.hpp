@@ -1,0 +1,195 @@
+// Deterministic discrete-event engine with cooperatively scheduled ranks.
+//
+// NARMA simulates a distributed-memory machine inside one process. Each
+// simulated MPI-like *rank* runs user code on its own OS thread, but the
+// engine enforces that **at most one thread is runnable at any instant**
+// (scheduler and rank threads hand control back and forth through binary
+// semaphores). Consequences:
+//
+//  * No data races by construction — every access to engine or fabric state
+//    happens with exactly one active thread; the semaphore handoffs provide
+//    the release/acquire ordering.
+//  * Deterministic execution — events are ordered by (virtual time, issue
+//    sequence number) and ready ranks by (resume time, rank id).
+//  * Clean compute measurement even on a single-core host — when a rank
+//    measures a real compute kernel, no other simulation thread competes
+//    for the CPU.
+//
+// Virtual time model (conservative, LogGOPSim-style): each rank owns a
+// virtual clock that advances through explicit charges (`advance`) and
+// through blocking. Hardware actions (message deliveries, completion-queue
+// postings) are *events* scheduled on a global min-heap. The causality
+// invariant is: before a rank observes any shared simulation state at its
+// local clock c, all events with time <= c have executed. Ranks uphold it by
+// calling `drain()` at every observation point (the communication layers do
+// this internally).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <semaphore>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/time.hpp"
+
+namespace narma::sim {
+
+class Engine;
+class RankCtx;
+
+/// Virtual-time condition variable. Ranks block on it via RankCtx::wait();
+/// event handlers (or other ranks) call notify() to wake all current
+/// waiters. As with a condition variable, users re-check their predicate in
+/// a loop around wait(); spurious wakeups are allowed.
+class Trigger {
+ public:
+  /// Wakes every rank currently waiting; each resumes no earlier than
+  /// virtual time `t` (and never earlier than its own clock).
+  void notify(Engine& eng, Time t);
+
+  bool has_waiters() const { return !waiters_.empty(); }
+
+ private:
+  friend class RankCtx;
+  std::vector<int> waiters_;  // rank ids, in wait order
+};
+
+namespace detail {
+
+enum class RankState : std::uint8_t {
+  kReady,     // can run; resume_time says when
+  kRunning,   // currently executing user code
+  kBlocked,   // waiting on a Trigger
+  kFinished,  // rank main returned
+};
+
+struct RankSlot {
+  std::unique_ptr<RankCtx> ctx;
+  std::thread thread;
+  std::binary_semaphore resume{0};  // engine -> rank handoff
+  RankState state = detail::RankState::kReady;
+  Time resume_time = 0;
+  const char* block_label = "";  // diagnostic for deadlock dumps
+};
+
+struct Event {
+  Time time;
+  std::uint64_t seq;
+  std::function<void()> fn;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+  }
+};
+
+}  // namespace detail
+
+/// Per-rank execution context. The communication layers wrap this; user code
+/// normally sees the narma::Rank facade instead.
+class RankCtx {
+ public:
+  RankCtx(Engine& eng, int id) : engine_(&eng), id_(id) {}
+  RankCtx(const RankCtx&) = delete;
+  RankCtx& operator=(const RankCtx&) = delete;
+
+  int id() const { return id_; }
+  int nranks() const;
+  Engine& engine() { return *engine_; }
+
+  /// This rank's virtual clock.
+  Time now() const { return clock_; }
+
+  /// Charges local (compute or software-overhead) time.
+  void advance(Time dt) { clock_ += dt; }
+  void advance_to(Time t) {
+    if (t > clock_) clock_ = t;
+  }
+
+  /// Runs `fn` on the real CPU, measures its wall time, and charges it to
+  /// virtual time (scaled by `scale`). Valid because only one simulation
+  /// thread runs at a time.
+  template <class F>
+  void charge_measured(F&& fn, double scale = 1.0) {
+    const std::uint64_t t0 = wallclock_ns();
+    fn();
+    const std::uint64_t t1 = wallclock_ns();
+    advance(ns(static_cast<double>(t1 - t0) * scale));
+  }
+
+  /// Executes all pending events with time <= now(). Communication layers
+  /// call this before observing shared state.
+  void drain();
+
+  /// Yields to the engine until virtual time `t` (a modeled sleep or poll
+  /// backoff). Other ranks and events run in between.
+  void yield_until(Time t, const char* label = "yield");
+
+  /// Blocks until `trg` is notified. Re-check your predicate in a loop.
+  void wait(Trigger& trg, const char* label);
+
+ private:
+  friend class Engine;
+
+  Engine* engine_;
+  int id_;
+  Time clock_ = 0;
+};
+
+/// The discrete-event engine. Owns the event heap and the rank threads.
+class Engine {
+ public:
+  explicit Engine(int nranks);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs `rank_main` on every rank to completion. Blocking; must be called
+  /// exactly once per Engine.
+  void run(const std::function<void(RankCtx&)>& rank_main);
+
+  /// Schedules `fn` to execute at virtual time `t`. Callable from rank
+  /// threads and from event handlers.
+  void post(Time t, std::function<void()> fn);
+
+  int nranks() const { return static_cast<int>(slots_.size()); }
+  RankCtx& rank(int i) { return *slots_[static_cast<std::size_t>(i)].ctx; }
+
+  std::uint64_t events_executed() const { return events_executed_; }
+  std::uint64_t events_posted() const { return next_seq_; }
+
+ private:
+  friend class RankCtx;
+  friend class Trigger;
+
+  static constexpr Time kNever = std::numeric_limits<Time>::max();
+
+  detail::RankSlot& slot(int i) { return slots_[static_cast<std::size_t>(i)]; }
+
+  // Rank-thread side: hand control to the scheduler and wait to be resumed.
+  void yield_to_engine(int rank_id);
+  // Engine side: resume one rank and wait until it hands control back.
+  void resume_rank(detail::RankSlot& s);
+
+  void wake(int rank_id, Time t);
+  void execute_due(Time horizon);  // run events with time <= horizon
+  [[noreturn]] void deadlock_dump();
+
+  std::vector<detail::RankSlot> slots_;
+  std::priority_queue<detail::Event, std::vector<detail::Event>,
+                      detail::EventLater>
+      heap_;
+  std::binary_semaphore engine_sem_{0};  // rank -> engine handoff
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace narma::sim

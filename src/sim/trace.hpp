@@ -1,0 +1,107 @@
+// Virtual-time tracing.
+//
+// When enabled, the communication layers record spans (begin/end in virtual
+// time, per rank) and instant events. The trace dumps in the Chrome
+// trace-event JSON format, so a simulated run can be inspected on a real
+// timeline in chrome://tracing or Perfetto:
+//
+//   narma::World world(4);
+//   world.enable_tracing();
+//   world.run(...);
+//   world.dump_trace("run.trace.json");
+//
+// Recording is append-only into per-rank buffers; with tracing disabled the
+// hooks cost one pointer test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace narma::sim {
+
+class Tracer {
+ public:
+  explicit Tracer(int nranks) : ranks_(static_cast<std::size_t>(nranks)) {}
+
+  /// Completed span [begin, end] on `rank`'s timeline.
+  void span(int rank, const char* category, std::string name, Time begin,
+            Time end) {
+    lane(rank).push_back(
+        {std::move(name), category, begin, end, Kind::kSpan});
+  }
+
+  /// Zero-duration marker.
+  void instant(int rank, const char* category, std::string name, Time at) {
+    lane(rank).push_back({std::move(name), category, at, at, Kind::kInstant});
+  }
+
+  /// Arrow between two ranks' timelines (message flow).
+  void flow(int from_rank, int to_rank, const char* category,
+            std::string name, Time depart, Time arrive) {
+    const std::uint64_t id = next_flow_id_++;
+    lane(from_rank).push_back(
+        {name, category, depart, depart, Kind::kFlowStart, id});
+    lane(to_rank).push_back(
+        {std::move(name), category, arrive, arrive, Kind::kFlowEnd, id});
+  }
+
+  std::size_t event_count() const {
+    std::size_t n = 0;
+    for (const auto& l : ranks_) n += l.size();
+    return n;
+  }
+
+  /// Renders the Chrome trace-event JSON document.
+  std::string to_json() const;
+
+  /// Writes to_json() to `path`; returns false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+ private:
+  enum class Kind : std::uint8_t { kSpan, kInstant, kFlowStart, kFlowEnd };
+
+  struct Event {
+    std::string name;
+    const char* category;
+    Time begin;
+    Time end;
+    Kind kind;
+    std::uint64_t flow_id = 0;
+  };
+
+  std::vector<Event>& lane(int rank) {
+    return ranks_[static_cast<std::size_t>(rank)];
+  }
+
+  std::vector<std::vector<Event>> ranks_;
+  std::uint64_t next_flow_id_ = 1;
+};
+
+/// RAII span helper: records [construction, destruction] on the rank's
+/// virtual clock when a tracer is attached (nullptr tracer = no-op).
+template <class Clock>
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const Clock& clock, int rank,
+             const char* category, const char* name)
+      : tracer_(tracer), clock_(clock), rank_(rank), category_(category),
+        name_(name), begin_(tracer ? clock() : 0) {}
+  ~ScopedSpan() {
+    if (tracer_) tracer_->span(rank_, category_, name_, begin_, clock_());
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  Clock clock_;
+  int rank_;
+  const char* category_;
+  const char* name_;
+  Time begin_;
+};
+
+}  // namespace narma::sim

@@ -1,0 +1,96 @@
+// Integration tests of the k-ary tree reduction: every variant computes the
+// analytic sum across rank counts, arities, and message sizes.
+#include <gtest/gtest.h>
+
+#include "apps/tree.hpp"
+
+using namespace narma;
+using namespace narma::apps;
+
+struct TreeCase {
+  int ranks;
+  int arity;
+  std::size_t elems;
+  TreeVariant variant;
+};
+
+class TreeAll : public ::testing::TestWithParam<TreeCase> {};
+
+TEST_P(TreeAll, SumVerifies) {
+  const auto [ranks, arity, elems, variant] = GetParam();
+  World world(ranks);
+  TreeResult res;
+  world.run([&](Rank& self) {
+    TreeConfig cfg;
+    cfg.elems = elems;
+    cfg.arity = arity;
+    cfg.reps = 2;
+    cfg.variant = variant;
+    const auto r = run_tree(self, cfg);
+    if (self.id() == 0) res = r;
+  });
+  EXPECT_TRUE(res.verified) << "root sum " << res.result0;
+  EXPECT_GT(res.per_op_us, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TreeAll,
+    ::testing::Values(
+        TreeCase{1, 16, 1, TreeVariant::kNotified},
+        TreeCase{2, 16, 1, TreeVariant::kMessagePassing},
+        TreeCase{2, 16, 1, TreeVariant::kNotified},
+        TreeCase{5, 2, 4, TreeVariant::kMessagePassing},
+        TreeCase{5, 2, 4, TreeVariant::kPscw},
+        TreeCase{5, 2, 4, TreeVariant::kNotified},
+        TreeCase{5, 2, 4, TreeVariant::kVendorReduce},
+        TreeCase{17, 16, 1, TreeVariant::kMessagePassing},
+        TreeCase{17, 16, 1, TreeVariant::kPscw},
+        TreeCase{17, 16, 1, TreeVariant::kNotified},
+        TreeCase{17, 16, 1, TreeVariant::kVendorReduce},
+        TreeCase{33, 16, 16, TreeVariant::kNotified},
+        TreeCase{33, 16, 16, TreeVariant::kVendorReduce},
+        TreeCase{20, 3, 8, TreeVariant::kNotified},
+        TreeCase{20, 3, 8, TreeVariant::kPscw}),
+    [](const auto& info) {
+      std::string name = std::string(to_string(info.param.variant)) + "_r" +
+                         std::to_string(info.param.ranks) + "_k" +
+                         std::to_string(info.param.arity) + "_e" +
+                         std::to_string(info.param.elems);
+      std::erase_if(name, [](char c) { return !std::isalnum(c) && c != '_'; });
+      return name;
+    });
+
+TEST(TreePerf, NotifiedCountingBeatsMessagePassing) {
+  auto time_of = [](TreeVariant v) {
+    World world(17);  // root + 16 children: one full 16-ary level
+    double t = 0;
+    world.run([&](Rank& self) {
+      TreeConfig cfg;
+      cfg.elems = 1;
+      cfg.arity = 16;
+      cfg.reps = 5;
+      cfg.variant = v;
+      const auto r = run_tree(self, cfg);
+      if (self.id() == 0) t = r.per_op_us;
+    });
+    return t;
+  };
+  const double na = time_of(TreeVariant::kNotified);
+  const double mp = time_of(TreeVariant::kMessagePassing);
+  const double pscw = time_of(TreeVariant::kPscw);
+  EXPECT_LT(na, mp);    // paper Fig. 4c: NA fastest for small messages
+  EXPECT_LT(na, pscw);
+}
+
+TEST(TreeEdge, SingleRankTrivial) {
+  World world(1);
+  TreeResult res;
+  world.run([&](Rank& self) {
+    TreeConfig cfg;
+    cfg.variant = TreeVariant::kMessagePassing;
+    const auto r = run_tree(self, cfg);
+    res = r;
+  });
+  EXPECT_TRUE(res.verified);
+  EXPECT_DOUBLE_EQ(res.result0, 1.0);
+}

@@ -1,0 +1,70 @@
+// Unit tests of the set-associative LRU cache model.
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.hpp"
+
+using narma::cachesim::Cache;
+
+TEST(CacheSim, ColdMissThenHit) {
+  Cache c(64, 64, 8);
+  EXPECT_EQ(c.touch(0x1000, 8), 1u);  // compulsory miss
+  EXPECT_EQ(c.touch(0x1000, 8), 0u);  // hit
+  EXPECT_EQ(c.touch(0x1008, 8), 0u);  // same line: hit
+  EXPECT_EQ(c.stats().misses, 1u);
+  EXPECT_EQ(c.stats().hits, 2u);
+}
+
+TEST(CacheSim, SpanningAccessTouchesEachLine) {
+  Cache c(64, 64, 8);
+  // 100 bytes starting 32 bytes into a line spans 3 lines.
+  EXPECT_EQ(c.touch(0x1000 + 32, 100), 3u);
+  EXPECT_EQ(c.stats().accesses, 3u);
+}
+
+TEST(CacheSim, ZeroByteAccessCountsOneLine) {
+  Cache c(64, 64, 8);
+  EXPECT_EQ(c.touch(0x2000, 0), 1u);
+}
+
+TEST(CacheSim, LruEvictionWithinSet) {
+  // Direct-mapped-ish: 1 way, 4 sets, 64B lines. Addresses 0 and 4*64 map
+  // to the same set.
+  Cache c(64, 4, 1);
+  EXPECT_EQ(c.touch(0, 1), 1u);
+  EXPECT_EQ(c.touch(4 * 64, 1), 1u);  // evicts line 0
+  EXPECT_EQ(c.touch(0, 1), 1u);       // conflict miss again
+}
+
+TEST(CacheSim, AssociativityAvoidsConflict) {
+  Cache c(64, 4, 2);  // 2 ways
+  EXPECT_EQ(c.touch(0, 1), 1u);
+  EXPECT_EQ(c.touch(4 * 64, 1), 1u);  // fits in way 2
+  EXPECT_EQ(c.touch(0, 1), 0u);       // still resident
+  EXPECT_EQ(c.touch(8 * 64, 1), 1u);  // evicts LRU (line 4*64)
+  EXPECT_EQ(c.touch(0, 1), 0u);       // 0 was MRU, still resident
+  EXPECT_EQ(c.touch(4 * 64, 1), 1u);  // was evicted
+}
+
+TEST(CacheSim, InvalidateAllColdsTheCache) {
+  Cache c = narma::cachesim::make_l1d();
+  c.touch(0x100, 64);
+  c.invalidate_all();
+  EXPECT_EQ(c.touch(0x100, 64), 1u);
+}
+
+TEST(CacheSim, TouchObjectUsesSize) {
+  Cache c(64, 64, 8);
+  struct Wide {
+    char data[200];
+  } obj;
+  // 200 bytes spans at least 4 lines.
+  EXPECT_GE(c.touch_object(&obj), 3u);
+}
+
+TEST(CacheSim, StatsResetKeepsContents) {
+  Cache c(64, 64, 8);
+  c.touch(0x500, 8);
+  c.reset_stats();
+  EXPECT_EQ(c.stats().misses, 0u);
+  EXPECT_EQ(c.touch(0x500, 8), 0u);  // still cached
+}

@@ -1,0 +1,113 @@
+// Unit tests of the collectives: barrier, broadcast, reductions (binomial
+// and k-ary), allreduce, gather/allgather — across several rank counts.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/world.hpp"
+
+using namespace narma;
+
+class CollectivesP : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectivesP, BarrierSynchronizesClocks) {
+  World world(GetParam());
+  world.run([](Rank& self) {
+    // Rank i idles i microseconds; after the barrier everyone's clock is at
+    // least the maximum arrival time.
+    self.compute(us(static_cast<double>(self.id())));
+    const Time slowest_arrival = us(static_cast<double>(self.size() - 1));
+    self.barrier();
+    EXPECT_GE(self.now(), slowest_arrival);
+  });
+}
+
+TEST_P(CollectivesP, BcastFromEveryRoot) {
+  World world(GetParam());
+  world.run([](Rank& self) {
+    for (int root = 0; root < self.size(); ++root) {
+      std::vector<int> data(5, self.id() == root ? root + 1000 : -1);
+      mp::bcast(self.mp(), data.data(), data.size() * 4, root);
+      for (int v : data) EXPECT_EQ(v, root + 1000);
+      self.barrier();
+    }
+  });
+}
+
+TEST_P(CollectivesP, ReduceBinomialSums) {
+  World world(GetParam());
+  world.run([](Rank& self) {
+    const int p = self.size();
+    std::vector<double> in(3, static_cast<double>(self.id() + 1));
+    std::vector<double> out(3, -1);
+    mp::reduce_binomial(self.mp(), in.data(), out.data(), 3, 0);
+    if (self.id() == 0) {
+      const double expect = p * (p + 1) / 2.0;
+      for (double v : out) EXPECT_DOUBLE_EQ(v, expect);
+    }
+  });
+}
+
+TEST_P(CollectivesP, ReduceBinomialNonzeroRoot) {
+  World world(GetParam());
+  world.run([](Rank& self) {
+    const int root = self.size() - 1;
+    double in = static_cast<double>(self.id() + 1), out = -1;
+    mp::reduce_binomial(self.mp(), &in, &out, 1, root);
+    if (self.id() == root) {
+      EXPECT_DOUBLE_EQ(out, self.size() * (self.size() + 1) / 2.0);
+    }
+  });
+}
+
+TEST_P(CollectivesP, ReduceKarySums) {
+  World world(GetParam());
+  world.run([](Rank& self) {
+    for (int arity : {2, 3, 16}) {
+      double in = static_cast<double>(self.id() + 1), out = -1;
+      mp::reduce_kary(self.mp(), &in, &out, 1, arity);
+      if (self.id() == 0) {
+        EXPECT_DOUBLE_EQ(out, self.size() * (self.size() + 1) / 2.0)
+            << "arity " << arity;
+      }
+      self.barrier();
+    }
+  });
+}
+
+TEST_P(CollectivesP, AllreduceGivesEveryoneTheSum) {
+  World world(GetParam());
+  world.run([](Rank& self) {
+    double in = static_cast<double>(self.id()), out = -1;
+    mp::allreduce(self.mp(), &in, &out, 1);
+    EXPECT_DOUBLE_EQ(out, self.size() * (self.size() - 1) / 2.0);
+  });
+}
+
+TEST_P(CollectivesP, GatherCollectsInRankOrder) {
+  World world(GetParam());
+  world.run([](Rank& self) {
+    const int me = self.id();
+    std::vector<int> recv(static_cast<std::size_t>(self.size()), -1);
+    mp::gather(self.mp(), &me, 4, recv.data(), 0);
+    if (me == 0) {
+      for (int r = 0; r < self.size(); ++r)
+        EXPECT_EQ(recv[static_cast<std::size_t>(r)], r);
+    }
+  });
+}
+
+TEST_P(CollectivesP, AllgatherEveryoneHasAll) {
+  World world(GetParam());
+  world.run([](Rank& self) {
+    const int v = self.id() * 10;
+    std::vector<int> recv(static_cast<std::size_t>(self.size()), -1);
+    mp::allgather(self.mp(), &v, 4, recv.data());
+    for (int r = 0; r < self.size(); ++r)
+      EXPECT_EQ(recv[static_cast<std::size_t>(r)], r * 10);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectivesP,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16, 33));

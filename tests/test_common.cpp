@@ -1,0 +1,151 @@
+// Unit tests of the common utilities: statistics, ring buffer, RNG, time
+// conversions, env parsing, and the table printer.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/env.hpp"
+#include "common/ring_buffer.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/time.hpp"
+
+using namespace narma;
+
+TEST(Stats, MeanMedianOfKnownData) {
+  std::vector<double> xs{1, 2, 3, 4, 100};
+  EXPECT_DOUBLE_EQ(stats::mean(xs), 22.0);
+  EXPECT_DOUBLE_EQ(stats::median(xs), 3.0);
+  EXPECT_DOUBLE_EQ(stats::min(xs), 1.0);
+  EXPECT_DOUBLE_EQ(stats::max(xs), 100.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> xs{0, 10};
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 1.0), 10.0);
+}
+
+TEST(Stats, VarianceOfConstantIsZero) {
+  std::vector<double> xs{5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(stats::variance(xs), 0.0);
+  EXPECT_DOUBLE_EQ(stats::ci_halfwidth(xs), 0.0);
+}
+
+TEST(Stats, CiShrinksWithSamples) {
+  std::vector<double> small{1, 3}, large;
+  for (int i = 0; i < 100; ++i) large.push_back(i % 2 ? 1.0 : 3.0);
+  EXPECT_GT(stats::ci_halfwidth(small, 0.99), stats::ci_halfwidth(large, 0.99));
+}
+
+TEST(Stats, SummarizeFillsAllFields) {
+  std::vector<double> xs{2, 4, 6};
+  const auto s = stats::summarize(xs);
+  EXPECT_EQ(s.n, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  EXPECT_GT(s.stddev, 0.0);
+}
+
+TEST(RingBuffer, PushPopFifo) {
+  RingBuffer<int> rb(4);
+  for (int i = 0; i < 4; ++i) rb.push(i);
+  EXPECT_TRUE(rb.full());
+  EXPECT_FALSE(rb.try_push(99));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(rb.pop(), i);
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, WrapsAround) {
+  RingBuffer<int> rb(4);
+  for (int round = 0; round < 10; ++round) {
+    rb.push(round);
+    rb.push(round + 100);
+    EXPECT_EQ(rb.pop(), round);
+    EXPECT_EQ(rb.pop(), round + 100);
+  }
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, CapacityRoundsUpToPow2) {
+  RingBuffer<int> rb(5);
+  EXPECT_EQ(rb.capacity(), 8u);
+}
+
+TEST(RingBuffer, PeekSeesInOrder) {
+  RingBuffer<int> rb(8);
+  rb.push(10);
+  rb.push(20);
+  EXPECT_EQ(rb.peek(0), 10);
+  EXPECT_EQ(rb.peek(1), 20);
+  EXPECT_EQ(rb.front(), 10);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(7), b(7), c(8);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BelowBound) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(TimeUnits, Conversions) {
+  EXPECT_EQ(ns(1), 1000u);
+  EXPECT_EQ(us(1), 1000000u);
+  EXPECT_EQ(ms(1), 1000000000u);
+  EXPECT_DOUBLE_EQ(to_us(us(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(1.5)), 1.5);
+  EXPECT_DOUBLE_EQ(to_ns(ns(0.5)), 0.5);
+}
+
+TEST(Env, ParsesAndFallsBack) {
+  ::setenv("NARMA_TEST_INT", "42", 1);
+  ::setenv("NARMA_TEST_BAD", "xyz", 1);
+  ::setenv("NARMA_TEST_DBL", "2.5", 1);
+  ::setenv("NARMA_TEST_BOOL", "true", 1);
+  EXPECT_EQ(env::get_int("NARMA_TEST_INT", 7), 42);
+  EXPECT_EQ(env::get_int("NARMA_TEST_BAD", 7), 7);
+  EXPECT_EQ(env::get_int("NARMA_TEST_MISSING", 7), 7);
+  EXPECT_DOUBLE_EQ(env::get_double("NARMA_TEST_DBL", 0.0), 2.5);
+  EXPECT_TRUE(env::get_bool("NARMA_TEST_BOOL", false));
+  EXPECT_EQ(env::get_string("NARMA_TEST_MISSING", "d"), "d");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_row({"b", "100"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("100"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, FormatsNumbers) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt(std::size_t{42}), "42");
+}
+
+TEST(Table, MismatchedRowAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row has 1 cells");
+}

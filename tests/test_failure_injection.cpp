@@ -1,0 +1,164 @@
+// Failure-injection tests: every fatal condition the runtime guards against
+// must be detected and reported, not silently corrupt state — CQ/ring
+// overflow (fatal, like uGNI), simulation deadlock, misuse of requests and
+// windows, and tag-range violations.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/world.hpp"
+
+using namespace narma;
+
+TEST(FailureInjection, DestCqOverflowIsFatal) {
+  WorldParams wp;
+  wp.fabric.dest_cq_capacity = 8;
+  EXPECT_DEATH(
+      {
+        World world(2, wp);
+        world.run([](Rank& self) {
+          auto win = self.win_allocate(8, 1);
+          if (self.id() == 0) {
+            // 32 notifications into a CQ of 8 that nobody consumes.
+            for (int i = 0; i < 32; ++i)
+              self.na().put_notify(*win, nullptr, 0, 1, 0, 1);
+            win->flush(1);
+          } else {
+            self.ctx().yield_until(ms(10), "sleep");
+          }
+          self.barrier();
+        });
+      },
+      "completion queue overflow");
+}
+
+TEST(FailureInjection, MailboxOverflowIsFatal) {
+  WorldParams wp;
+  wp.fabric.mailbox_capacity = 4;
+  EXPECT_DEATH(
+      {
+        World world(2, wp);
+        world.run([](Rank& self) {
+          if (self.id() == 0) {
+            int v = 1;
+            for (int i = 0; i < 64; ++i) self.mp().isend(&v, 4, 1, 1);
+            self.ctx().yield_until(ms(10), "drain");
+          } else {
+            self.ctx().yield_until(ms(20), "sleep");
+          }
+        });
+      },
+      "mailbox overflow");
+}
+
+TEST(FailureInjection, SimulationDeadlockIsDetected) {
+  EXPECT_DEATH(
+      {
+        World world(2);
+        world.run([](Rank& self) {
+          // Rank 1 waits for a message that never comes.
+          if (self.id() == 1) {
+            int v;
+            self.recv(&v, 4, 0, 1);
+          }
+        });
+      },
+      "simulation deadlock");
+}
+
+TEST(FailureInjection, DeadlockDumpNamesBlockSite) {
+  EXPECT_DEATH(
+      {
+        World world(2);
+        world.run([](Rank& self) {
+          auto win = self.win_allocate(8, 1);
+          if (self.id() == 1) {
+            auto req = self.na().notify_init(*win, 0, 1, 1);
+            self.na().start(req);
+            self.na().wait(req);  // never satisfied
+          }
+          self.barrier();
+        });
+      },
+      "na-wait");
+}
+
+TEST(FailureInjection, TestWithoutStartAborts) {
+  World world(1);
+  world.run([](Rank& self) {
+    auto win = self.win_allocate(8, 1);
+    auto req = self.na().notify_init(*win, na::kAnySource, na::kAnyTag, 1);
+    EXPECT_DEATH(self.na().test(req), "not.*started");
+  });
+}
+
+TEST(FailureInjection, ZeroExpectedCountAborts) {
+  World world(1);
+  world.run([](Rank& self) {
+    auto win = self.win_allocate(8, 1);
+    EXPECT_DEATH(self.na().notify_init(*win, na::kAnySource, na::kAnyTag, 0),
+                 "expected_count");
+  });
+}
+
+TEST(FailureInjection, BadNotificationSourceAborts) {
+  World world(2);
+  world.run([](Rank& self) {
+    auto win = self.win_allocate(8, 1);
+    if (self.id() == 0) {
+      EXPECT_DEATH(self.na().notify_init(*win, 7, 1, 1),
+                   "bad notification source");
+    }
+    self.barrier();
+  });
+}
+
+TEST(FailureInjection, RemotePutOutOfWindowAborts) {
+  World world(2);
+  EXPECT_DEATH(
+      {
+        World w2(2);
+        w2.run([](Rank& self) {
+          auto win = self.win_allocate(16, 1);
+          if (self.id() == 0) {
+            std::vector<std::byte> big(64);
+            win->put(big.data(), big.size(), 1, 0);  // 64 B into 16 B
+            win->flush(1);
+          }
+          self.barrier();
+        });
+      },
+      "out of bounds");
+}
+
+TEST(FailureInjection, SendToInvalidRankAborts) {
+  World world(2);
+  world.run([](Rank& self) {
+    if (self.id() == 0) {
+      int v = 1;
+      EXPECT_DEATH(self.send(&v, 4, 5, 1), "bad destination");
+    }
+    self.barrier();
+  });
+}
+
+TEST(FailureInjection, WindowDestructionFlushesOutstandingOps) {
+  // Destroying a window with in-flight puts must complete them first (the
+  // destructor flushes and barriers), so the data still lands.
+  World world(2);
+  world.run([](Rank& self) {
+    double result = 0;
+    {
+      auto win = self.rma().create(&result, sizeof(double), sizeof(double));
+      if (self.id() == 0) {
+        static double v = 3.75;
+        win->put(&v, sizeof(double), 1, 0);
+        // No explicit flush: the destructor's flush_all must cover it.
+      }
+    }
+    if (self.id() == 1) {
+      EXPECT_EQ(result, 3.75);
+    }
+    self.barrier();
+  });
+}

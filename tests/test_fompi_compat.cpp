@@ -1,0 +1,136 @@
+// Tests of the foMPI-NA compatibility shim: the paper's C-style interface
+// must behave identically to the native API.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/fompi.hpp"
+#include "core/world.hpp"
+
+using namespace narma;
+using namespace narma::fompi;
+
+TEST(FompiCompat, Listing1PingPong) {
+  World world(2);
+  world.run([](Rank& self) {
+    bind(self);
+    foMPI_Win win;
+    double* buf;
+    foMPI_Win_allocate(64 * sizeof(double), sizeof(double),
+                       reinterpret_cast<void**>(&buf), &win);
+    int me, size;
+    foMPI_Comm_rank(&me);
+    foMPI_Comm_size(&size);
+    EXPECT_EQ(me, self.id());
+    EXPECT_EQ(size, 2);
+
+    foMPI_Request req;
+    foMPI_Notify_init(win, 1 - me, 99, 1, &req);
+    for (int iter = 0; iter < 3; ++iter) {
+      if (me == 0) {
+        buf[0] = 10.0 + iter;
+        foMPI_Put_notify(buf, 1, FOMPI_DOUBLE, 1, 0, 1, FOMPI_DOUBLE, win,
+                         99);
+        foMPI_Win_flush(1, win);
+        foMPI_Start(&req);
+        foMPI_Status st;
+        foMPI_Wait(&req, &st);
+        EXPECT_EQ(st.source, 1);
+        EXPECT_EQ(buf[0], 20.0 + iter);
+      } else {
+        foMPI_Start(&req);
+        foMPI_Status st;
+        foMPI_Wait(&req, &st);
+        EXPECT_EQ(st.tag, 99);
+        EXPECT_EQ(buf[0], 10.0 + iter);
+        buf[0] = 20.0 + iter;
+        foMPI_Put_notify(buf, 1, FOMPI_DOUBLE, 0, 0, 1, FOMPI_DOUBLE, win,
+                         99);
+        foMPI_Win_flush(0, win);
+      }
+    }
+    foMPI_Request_free(&req);
+    foMPI_Win_free(&win);
+    unbind();
+  });
+}
+
+TEST(FompiCompat, GetNotifyAndTest) {
+  World world(2);
+  world.run([](Rank& self) {
+    bind(self);
+    foMPI_Win win;
+    double* buf;
+    foMPI_Win_allocate(8 * sizeof(double), sizeof(double),
+                       reinterpret_cast<void**>(&buf), &win);
+    int me;
+    foMPI_Comm_rank(&me);
+    if (me == 1) buf[3] = 6.25;
+    foMPI_Barrier();
+    if (me == 0) {
+      double out = 0;
+      foMPI_Get_notify(&out, 1, FOMPI_DOUBLE, 1, 3, 1, FOMPI_DOUBLE, win, 5);
+      foMPI_Win_flush(1, win);
+      EXPECT_EQ(out, 6.25);
+    } else {
+      foMPI_Request req;
+      foMPI_Notify_init(win, 0, 5, 1, &req);
+      foMPI_Start(&req);
+      int flag = 0;
+      foMPI_Status st;
+      while (!flag) {
+        foMPI_Test(&req, &flag, &st);
+        if (!flag) self.ctx().yield_until(self.now() + us(1), "poll");
+      }
+      EXPECT_EQ(st.bytes, sizeof(double));
+      foMPI_Request_free(&req);
+    }
+    foMPI_Barrier();
+    foMPI_Win_free(&win);
+    unbind();
+  });
+}
+
+TEST(FompiCompat, SendRecvAndWinCreate) {
+  World world(2);
+  world.run([](Rank& self) {
+    bind(self);
+    std::vector<int> mem(16, self.id());
+    foMPI_Win win;
+    foMPI_Win_create(mem.data(), mem.size() * sizeof(int), sizeof(int), &win);
+    int me;
+    foMPI_Comm_rank(&me);
+    if (me == 0) {
+      int v = 77;
+      foMPI_Send(&v, 1, FOMPI_INT, 1, 3);
+      int remote = -1;
+      foMPI_Get(&remote, 1, FOMPI_INT, 1, 5, win);
+      foMPI_Win_flush(1, win);
+      EXPECT_EQ(remote, 1);
+    } else {
+      int v = 0;
+      foMPI_Status st;
+      foMPI_Recv(&v, 1, FOMPI_INT, 0, 3, &st);
+      EXPECT_EQ(v, 77);
+      EXPECT_EQ(st.bytes, sizeof(int));
+    }
+    foMPI_Barrier();
+    foMPI_Win_free(&win);
+    unbind();
+  });
+}
+
+TEST(FompiCompat, MismatchedSignatureAborts) {
+  World world(1);
+  world.run([](Rank& self) {
+    bind(self);
+    foMPI_Win win;
+    double* buf;
+    foMPI_Win_allocate(64, 1, reinterpret_cast<void**>(&buf), &win);
+    EXPECT_DEATH(foMPI_Put_notify(buf, 2, FOMPI_DOUBLE, 0, 0, 1,
+                                  FOMPI_INT, win, 1),
+                 "signatures disagree");
+    foMPI_Win_free(&win);
+    unbind();
+  });
+}

@@ -1,0 +1,72 @@
+// Unit tests of the LogGP model and its least-squares fitting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "model/loggp.hpp"
+
+using namespace narma::model;
+
+TEST(LogGP, LatencyComposition) {
+  LogGPParams p;
+  p.o_s_us = 0.29;
+  p.o_r_us = 0.07;
+  p.L_us = 1.02;
+  p.G_ns_per_byte = 0.105;
+  // Zero bytes: overheads + latency only.
+  EXPECT_DOUBLE_EQ(p.latency_us(0), 0.29 + 0.07 + 1.02);
+  // 1 KB adds G * 1024.
+  EXPECT_NEAR(p.latency_us(1024), 1.38 + 0.105e-3 * 1024, 1e-12);
+}
+
+TEST(LogGP, BandwidthSaturatesWithSize) {
+  LogGPParams p;
+  p.g_us = 0.02;
+  p.G_ns_per_byte = 0.1;
+  const double bw_small = p.bandwidth_mb_s(64);
+  const double bw_large = p.bandwidth_mb_s(1 << 20);
+  EXPECT_GT(bw_large, bw_small);
+  // Asymptote: 1/G bytes per ns = 10 GB/s = 10000 MB/s.
+  EXPECT_NEAR(bw_large, 10000.0, 300.0);
+}
+
+TEST(LinearFitTest, ExactLineRecovered) {
+  std::vector<std::pair<double, double>> pts;
+  for (double x : {1.0, 2.0, 5.0, 10.0}) pts.push_back({x, 3.0 + 2.0 * x});
+  const LinearFit f = fit_linear(pts);
+  EXPECT_NEAR(f.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, NoisyDataReasonableR2) {
+  std::vector<std::pair<double, double>> pts;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i;
+    const double noise = (i % 2 == 0) ? 0.5 : -0.5;
+    pts.push_back({x, 1.0 + 0.5 * x + noise});
+  }
+  const LinearFit f = fit_linear(pts);
+  EXPECT_NEAR(f.slope, 0.5, 0.01);
+  EXPECT_GT(f.r2, 0.99);
+}
+
+TEST(LinearFitTest, DegenerateAborts) {
+  std::vector<std::pair<double, double>> one{{1.0, 2.0}};
+  EXPECT_DEATH((void)fit_linear(one), "at least two");
+  std::vector<std::pair<double, double>> same{{1.0, 2.0}, {1.0, 3.0}};
+  EXPECT_DEATH((void)fit_linear(same), "degenerate");
+}
+
+TEST(LogGPFit, RecoversParametersFromSyntheticSweep) {
+  // Synthesize a latency sweep with known L and G, then recover them.
+  const double L = 1.32, G_ns = 0.101, overheads = 0.36;
+  std::vector<std::pair<double, double>> pts;
+  for (std::size_t s = 8; s <= (1u << 20); s *= 4) {
+    const double lat = overheads + L + G_ns * 1e-3 * static_cast<double>(s);
+    pts.push_back({static_cast<double>(s), lat});
+  }
+  const LogGPParams fit = fit_loggp(pts, overheads);
+  EXPECT_NEAR(fit.L_us, L, 1e-9);
+  EXPECT_NEAR(fit.G_ns_per_byte, G_ns, 1e-9);
+}

@@ -1,0 +1,276 @@
+// Unit tests of the two-sided message-passing layer: eager and rendezvous
+// protocols, matching semantics (wildcards, ordering), nonblocking requests,
+// probes, and self-sends.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/world.hpp"
+
+using namespace narma;
+
+namespace {
+
+void run2(const std::function<void(Rank&)>& fn, WorldParams p = {}) {
+  World world(2, p);
+  world.run(fn);
+}
+
+}  // namespace
+
+TEST(Mp, EagerSendRecvSmall) {
+  run2([](Rank& self) {
+    std::vector<int> buf(4);
+    if (self.id() == 0) {
+      std::iota(buf.begin(), buf.end(), 10);
+      self.send(buf.data(), buf.size() * 4, 1, 5);
+    } else {
+      mp::Status st;
+      self.recv(buf.data(), buf.size() * 4, 0, 5, &st);
+      EXPECT_EQ(buf[0], 10);
+      EXPECT_EQ(buf[3], 13);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 5);
+      EXPECT_EQ(st.bytes, 16u);
+    }
+  });
+}
+
+TEST(Mp, RendezvousLargeMessage) {
+  run2([](Rank& self) {
+    const std::size_t n = 1 << 16;  // 64 KB > eager threshold
+    std::vector<double> buf(n);
+    if (self.id() == 0) {
+      for (std::size_t i = 0; i < n; ++i) buf[i] = static_cast<double>(i);
+      self.send(buf.data(), n * 8, 1, 1);
+    } else {
+      self.recv(buf.data(), n * 8, 0, 1);
+      EXPECT_EQ(buf[0], 0.0);
+      EXPECT_EQ(buf[n - 1], static_cast<double>(n - 1));
+      EXPECT_EQ(buf[n / 2], static_cast<double>(n / 2));
+    }
+  });
+}
+
+TEST(Mp, ZeroByteMessage) {
+  run2([](Rank& self) {
+    if (self.id() == 0) {
+      self.send(nullptr, 0, 1, 3);
+    } else {
+      mp::Status st;
+      self.recv(nullptr, 0, 0, 3, &st);
+      EXPECT_EQ(st.bytes, 0u);
+    }
+  });
+}
+
+TEST(Mp, UnexpectedMessageBuffered) {
+  run2([](Rank& self) {
+    int v = 7;
+    if (self.id() == 0) {
+      self.send(&v, 4, 1, 9);
+    } else {
+      // Let the message arrive unexpected, then post the receive.
+      self.ctx().yield_until(us(200), "delay");
+      int out = 0;
+      self.recv(&out, 4, 0, 9);
+      EXPECT_EQ(out, 7);
+    }
+  });
+}
+
+TEST(Mp, AnySourceAnyTagWildcards) {
+  run2([](Rank& self) {
+    int v = 31;
+    if (self.id() == 0) {
+      self.send(&v, 4, 1, 17);
+    } else {
+      int out = 0;
+      mp::Status st;
+      self.mp().recv(&out, 4, mp::kAnySource, mp::kAnyTag, &st);
+      EXPECT_EQ(out, 31);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 17);
+    }
+  });
+}
+
+TEST(Mp, TagSelectsAmongMessages) {
+  run2([](Rank& self) {
+    int a = 1, b = 2;
+    if (self.id() == 0) {
+      self.send(&a, 4, 1, 100);
+      self.send(&b, 4, 1, 200);
+    } else {
+      int out = 0;
+      // Receive the second tag first.
+      self.recv(&out, 4, 0, 200);
+      EXPECT_EQ(out, 2);
+      self.recv(&out, 4, 0, 100);
+      EXPECT_EQ(out, 1);
+    }
+  });
+}
+
+TEST(Mp, SameTagPreservesSendOrder) {
+  run2([](Rank& self) {
+    if (self.id() == 0) {
+      for (int i = 0; i < 10; ++i) self.send(&i, 4, 1, 1);
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        int out = -1;
+        self.recv(&out, 4, 0, 1);
+        EXPECT_EQ(out, i) << "MPI non-overtaking violated";
+      }
+    }
+  });
+}
+
+TEST(Mp, NonblockingIsendIrecv) {
+  run2([](Rank& self) {
+    std::vector<int> buf(8, 0);
+    if (self.id() == 0) {
+      std::iota(buf.begin(), buf.end(), 0);
+      auto req = self.mp().isend(buf.data(), 32, 1, 2);
+      self.mp().wait(req);
+    } else {
+      auto req = self.mp().irecv(buf.data(), 32, 0, 2);
+      // test() may be false before arrival, must eventually succeed.
+      mp::Status st;
+      while (!self.mp().test(req, &st))
+        self.ctx().yield_until(self.now() + us(1), "poll");
+      EXPECT_EQ(buf[7], 7);
+      EXPECT_EQ(st.bytes, 32u);
+    }
+  });
+}
+
+TEST(Mp, MultipleOutstandingIrecvs) {
+  run2([](Rank& self) {
+    if (self.id() == 0) {
+      int a = 10, b = 20;
+      self.send(&a, 4, 1, 1);
+      self.send(&b, 4, 1, 2);
+    } else {
+      int a = 0, b = 0;
+      auto r2 = self.mp().irecv(&b, 4, 0, 2);
+      auto r1 = self.mp().irecv(&a, 4, 0, 1);
+      self.mp().wait(r1);
+      self.mp().wait(r2);
+      EXPECT_EQ(a, 10);
+      EXPECT_EQ(b, 20);
+    }
+  });
+}
+
+TEST(Mp, ProbeReturnsEnvelopeWithoutReceiving) {
+  run2([](Rank& self) {
+    int v = 5;
+    if (self.id() == 0) {
+      self.send(&v, 4, 1, 77);
+    } else {
+      const mp::Status st = self.mp().probe(mp::kAnySource, mp::kAnyTag);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 77);
+      EXPECT_EQ(st.bytes, 4u);
+      // Message still there; now receive it based on the probe.
+      int out = 0;
+      self.recv(&out, 4, st.source, st.tag);
+      EXPECT_EQ(out, 5);
+    }
+  });
+}
+
+TEST(Mp, IprobeNonblocking) {
+  run2([](Rank& self) {
+    if (self.id() == 1) {
+      mp::Status st;
+      EXPECT_FALSE(self.mp().iprobe(0, 1, &st));  // nothing yet
+    }
+    self.barrier();
+    int v = 3;
+    if (self.id() == 0) self.send(&v, 4, 1, 1);
+    if (self.id() == 1) {
+      mp::Status st;
+      while (!self.mp().iprobe(0, 1, &st))
+        self.ctx().yield_until(self.now() + us(1), "iprobe");
+      int out;
+      self.recv(&out, 4, 0, 1);
+      EXPECT_EQ(out, 3);
+    }
+  });
+}
+
+TEST(Mp, SelfSendMatchesPostedRecv) {
+  World world(1);
+  world.run([](Rank& self) {
+    int out = 0;
+    auto req = self.mp().irecv(&out, 4, 0, 4);
+    int v = 99;
+    self.send(&v, 4, 0, 4);
+    self.mp().wait(req);
+    EXPECT_EQ(out, 99);
+  });
+}
+
+TEST(Mp, SelfSendBeforeRecv) {
+  World world(1);
+  world.run([](Rank& self) {
+    int v = 55, out = 0;
+    self.send(&v, 4, 0, 6);
+    self.recv(&out, 4, 0, 6);
+    EXPECT_EQ(out, 55);
+  });
+}
+
+TEST(Mp, RendezvousUnexpectedRts) {
+  // RTS arrives before the receive is posted.
+  run2([](Rank& self) {
+    const std::size_t n = 1 << 15;
+    std::vector<double> buf(n, 0.0);
+    if (self.id() == 0) {
+      for (std::size_t i = 0; i < n; ++i) buf[i] = 1.25;
+      self.send(buf.data(), n * 8, 1, 8);
+    } else {
+      self.ctx().yield_until(us(300), "late-post");
+      self.recv(buf.data(), n * 8, 0, 8);
+      EXPECT_EQ(buf[n - 1], 1.25);
+    }
+  });
+}
+
+TEST(Mp, EagerOverflowAborts) {
+  EXPECT_DEATH(
+      run2([](Rank& self) {
+        std::vector<int> big(8, 1);
+        int small = 0;
+        if (self.id() == 0) self.send(big.data(), 32, 1, 1);
+        if (self.id() == 1) self.recv(&small, 4, 0, 1);
+      }),
+      "overflows receive buffer");
+}
+
+TEST(Mp, LatencyEagerBelowRendezvous) {
+  // At the same size, forcing rendezvous costs an extra round trip.
+  auto one_way = [](std::size_t eager_threshold) {
+    WorldParams p;
+    p.mp.eager_threshold = eager_threshold;
+    World world(2, p);
+    Time t{};
+    world.run([&](Rank& self) {
+      std::vector<char> buf(1024);
+      self.barrier();
+      const Time t0 = self.now();
+      if (self.id() == 0) self.send(buf.data(), 1024, 1, 1);
+      if (self.id() == 1) {
+        self.recv(buf.data(), 1024, 0, 1);
+        t = self.now() - t0;
+      }
+    });
+    return t;
+  };
+  const Time eager = one_way(4096);
+  const Time rdzv = one_way(512);
+  EXPECT_LT(eager, rdzv);
+}

@@ -1,0 +1,190 @@
+// Tests of the strawman-interface extensions: probe semantics, the notified
+// accumulate family (fetch-add, compare-and-swap), and interactions with
+// the matching queue.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/world.hpp"
+
+using namespace narma;
+
+TEST(NaProbe, IprobeSeesWithoutConsuming) {
+  World world(2);
+  world.run([](Rank& self) {
+    auto win = self.win_allocate(sizeof(double), sizeof(double));
+    if (self.id() == 0) {
+      double v = 5.5;
+      self.na().put_notify(*win, &v, 8, 1, 0, 7);
+      win->flush(1);
+    } else {
+      na::NaStatus st;
+      // Blocking probe returns the envelope...
+      st = self.na().probe(*win, 0, 7);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 7);
+      EXPECT_EQ(st.bytes, 8u);
+      // ...and does not consume: a second probe still sees it,
+      EXPECT_TRUE(self.na().iprobe(*win, 0, 7, nullptr));
+      // and a request can still match it.
+      auto req = self.na().notify_init(*win, 0, 7, 1);
+      self.na().start(req);
+      EXPECT_TRUE(self.na().test(req));
+      // Now it is consumed.
+      EXPECT_FALSE(self.na().iprobe(*win, 0, 7, nullptr));
+    }
+    self.barrier();
+  });
+}
+
+TEST(NaProbe, IprobeFalseWhenNothingMatches) {
+  World world(2);
+  world.run([](Rank& self) {
+    auto win = self.win_allocate(8, 1);
+    if (self.id() == 0) {
+      self.na().put_notify(*win, nullptr, 0, 1, 0, 3);
+      win->flush(1);
+    }
+    self.barrier();
+    self.ctx().drain();
+    if (self.id() == 1) {
+      // Wrong tag and wrong source both miss; the notification is parked.
+      EXPECT_FALSE(self.na().iprobe(*win, 0, 4, nullptr));
+      EXPECT_FALSE(self.na().iprobe(*win, 1, 3, nullptr));
+      EXPECT_EQ(self.na().uq_size(), 1u);
+      EXPECT_TRUE(self.na().iprobe(*win, na::kAnySource, na::kAnyTag,
+                                   nullptr));
+    }
+    self.barrier();
+  });
+}
+
+TEST(NaProbe, WildcardProbeReportsOldest) {
+  World world(2);
+  world.run([](Rank& self) {
+    auto win = self.win_allocate(8, 1);
+    if (self.id() == 0) {
+      self.na().put_notify(*win, nullptr, 0, 1, 0, 10);
+      self.na().put_notify(*win, nullptr, 0, 1, 0, 11);
+      win->flush(1);
+    } else {
+      na::NaStatus st = self.na().probe(*win, na::kAnySource, na::kAnyTag);
+      EXPECT_EQ(st.tag, 10);  // arrival order
+    }
+    self.barrier();
+  });
+}
+
+TEST(NaAccumulate, CompareSwapNotify) {
+  World world(2);
+  world.run([](Rank& self) {
+    auto win = self.win_allocate(sizeof(std::int64_t), sizeof(std::int64_t));
+    if (self.id() == 1) win->local<std::int64_t>()[0] = 42;
+    self.barrier();
+    if (self.id() == 0) {
+      std::int64_t old = 0;
+      self.na().compare_swap_notify_i64(*win, 1, 0, 42, 99, &old, 6);
+      win->flush(1);
+      EXPECT_EQ(old, 42);
+    } else {
+      auto req = self.na().notify_init(*win, 0, 6, 1);
+      self.na().start(req);
+      na::NaStatus st;
+      self.na().wait(req, &st);
+      EXPECT_EQ(st.tag, 6);
+      EXPECT_EQ(win->local<std::int64_t>()[0], 99);
+    }
+    self.barrier();
+  });
+}
+
+TEST(NaAccumulate, FailedCasStillNotifies) {
+  World world(2);
+  world.run([](Rank& self) {
+    auto win = self.win_allocate(sizeof(std::int64_t), sizeof(std::int64_t));
+    if (self.id() == 0) {
+      std::int64_t old = -1;
+      self.na().compare_swap_notify_i64(*win, 1, 0, /*compare=*/123, 99,
+                                        &old, 2);
+      win->flush(1);
+      EXPECT_EQ(old, 0);  // compare mismatched; nothing swapped
+    } else {
+      auto req = self.na().notify_init(*win, 0, 2, 1);
+      self.na().start(req);
+      self.na().wait(req);  // the access is still notified
+      EXPECT_EQ(win->local<std::int64_t>()[0], 0);
+    }
+    self.barrier();
+  });
+}
+
+TEST(NaAccumulate, NotifiedFetchAddSerializes) {
+  World world(4);
+  world.run([](Rank& self) {
+    auto win = self.win_allocate(sizeof(std::int64_t), sizeof(std::int64_t));
+    if (self.id() != 0) {
+      std::int64_t old = -1;
+      self.na().fetch_add_notify_i64(*win, 0, 0, 1, &old, 4);
+      win->flush(0);
+      EXPECT_GE(old, 0);
+      EXPECT_LT(old, 3);
+    } else {
+      auto req = self.na().notify_init(*win, na::kAnySource, 4, 3);
+      self.na().start(req);
+      self.na().wait(req);  // counting across the three adders
+      EXPECT_EQ(win->local<std::int64_t>()[0], 3);
+    }
+    self.barrier();
+  });
+}
+
+TEST(NaWaitMulti, WaitAnyReturnsCompletedIndex) {
+  World world(3);
+  world.run([](Rank& self) {
+    auto win = self.win_allocate(8, 1);
+    if (self.id() != 0) {
+      // Only rank 2 sends (tag 2); rank 1 stays silent.
+      if (self.id() == 2) {
+        self.na().put_notify(*win, nullptr, 0, 0, 0, 2);
+        win->flush(0);
+      }
+    } else {
+      auto r1 = self.na().notify_init(*win, 1, 1, 1);
+      auto r2 = self.na().notify_init(*win, 2, 2, 1);
+      self.na().start(r1);
+      self.na().start(r2);
+      std::array<na::NotifyRequest*, 2> reqs{&r1, &r2};
+      na::NaStatus st;
+      const std::size_t idx = self.na().wait_any(reqs, &st);
+      EXPECT_EQ(idx, 1u);
+      EXPECT_EQ(st.source, 2);
+      EXPECT_EQ(st.tag, 2);
+    }
+    self.barrier();
+  });
+}
+
+TEST(NaWaitMulti, WaitAllConsumesEverything) {
+  World world(4);
+  world.run([](Rank& self) {
+    auto win = self.win_allocate(8, 1);
+    if (self.id() != 0) {
+      self.na().put_notify(*win, nullptr, 0, 0, 0, self.id());
+      win->flush(0);
+    } else {
+      auto r1 = self.na().notify_init(*win, 1, 1, 1);
+      auto r2 = self.na().notify_init(*win, 2, 2, 1);
+      auto r3 = self.na().notify_init(*win, 3, 3, 1);
+      self.na().start(r1);
+      self.na().start(r2);
+      self.na().start(r3);
+      std::array<na::NotifyRequest*, 3> reqs{&r1, &r2, &r3};
+      self.na().wait_all(reqs);
+      EXPECT_EQ(self.na().uq_size(), 0u);
+      EXPECT_EQ(r1.matched(), 1u);
+      EXPECT_EQ(r2.matched(), 1u);
+      EXPECT_EQ(r3.matched(), 1u);
+    }
+    self.barrier();
+  });
+}

@@ -1,0 +1,114 @@
+// Tests of the virtual-time tracer: events recorded by the communication
+// layers, Chrome trace-event JSON output, and the zero-overhead-off path.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/world.hpp"
+#include "sim/trace.hpp"
+
+using namespace narma;
+
+namespace {
+
+std::string run_traced(std::size_t* events) {
+  World world(2);
+  world.enable_tracing();
+  world.run([](Rank& self) {
+    auto win = self.win_allocate(64, 1);
+    if (self.id() == 0) {
+      double v = 1.0;
+      self.na().put_notify(*win, &v, 8, 1, 0, 3);
+      win->flush(1);
+      self.send(&v, 8, 1, 4);
+    } else {
+      auto req = self.na().notify_init(*win, 0, 3, 1);
+      self.na().start(req);
+      self.na().wait(req);
+      double v = 0;
+      self.recv(&v, 8, 0, 4);
+    }
+    self.barrier();
+  });
+  *events = world.tracer()->event_count();
+  return world.tracer()->to_json();
+}
+
+}  // namespace
+
+TEST(Trace, RecordsCommunicationEvents) {
+  std::size_t events = 0;
+  const std::string json = run_traced(&events);
+  EXPECT_GT(events, 6u);  // puts, ctrl msgs, waits, send/recv spans
+}
+
+TEST(Trace, JsonContainsExpectedCategoriesAndShape) {
+  std::size_t events = 0;
+  const std::string json = run_traced(&events);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"rdma\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"na\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"mp\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"ctrl\""), std::string::npos);
+  EXPECT_NE(json.find("rank 0"), std::string::npos);
+  EXPECT_NE(json.find("rank 1"), std::string::npos);
+  // Flow arrows come in start/end pairs.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  // Balanced braces (cheap well-formedness check).
+  long depth = 0;
+  for (char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Trace, DisabledByDefault) {
+  World world(2);
+  world.run([](Rank& self) {
+    if (self.id() == 0) {
+      int v = 1;
+      self.send(&v, 4, 1, 1);
+    } else {
+      int v = 0;
+      self.recv(&v, 4, 0, 1);
+    }
+  });
+  EXPECT_EQ(world.tracer(), nullptr);
+  EXPECT_FALSE(world.dump_trace("/tmp/should_not_exist.json"));
+}
+
+TEST(Trace, WriteJsonToFile) {
+  World world(1);
+  world.enable_tracing();
+  world.run([](Rank& self) { self.barrier(); });
+  const std::string path = "/tmp/narma_trace_test.json";
+  EXPECT_TRUE(world.dump_trace(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, SpanAndInstantApi) {
+  sim::Tracer t(2);
+  t.span(0, "test", "work", us(1), us(3));
+  t.instant(1, "test", "marker", us(2));
+  t.flow(0, 1, "test", "msg", us(1), us(2));
+  EXPECT_EQ(t.event_count(), 4u);  // span + instant + flow start/end
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"dur\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(Trace, EscapesSuspiciousNames) {
+  sim::Tracer t(1);
+  t.instant(0, "test", "quote\"back\\slash\n", us(1));
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+}

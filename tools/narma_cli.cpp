@@ -1,0 +1,241 @@
+// narma_cli — experiment driver.
+//
+// Runs the paper's workloads with command-line parameters, without editing
+// benchmark sources:
+//
+//   narma_cli pingpong --scheme=na --ranks=2 --bytes=8 --reps=100
+//   narma_cli stencil  --variant=na --ranks=16 --rows=512 --cols=2048
+//   narma_cli tree     --variant=na --ranks=64 --arity=16 --elems=8
+//   narma_cli cholesky --variant=mp --ranks=8 --nt=24 --b=32 [--trace=f.json]
+//
+// Every subcommand prints one result line (plus the trace file if asked),
+// suitable for scripting sweeps.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "apps/cholesky.hpp"
+#include "apps/stencil.hpp"
+#include "apps/tree.hpp"
+#include "narma/narma.hpp"
+
+namespace {
+
+using namespace narma;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> kv;
+
+  long get(const std::string& key, long fallback) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? fallback : std::stol(it->second);
+  }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second;
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  if (argc > 1) a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string s = argv[i];
+    if (s.rfind("--", 0) != 0) continue;
+    const auto eq = s.find('=');
+    if (eq == std::string::npos) {
+      a.kv[s.substr(2)] = "1";
+    } else {
+      a.kv[s.substr(2, eq - 2)] = s.substr(eq + 1);
+    }
+  }
+  return a;
+}
+
+int usage() {
+  std::fputs(
+      "usage: narma_cli <command> [--key=value ...]\n"
+      "\n"
+      "commands:\n"
+      "  pingpong  --scheme=na|mp|os --ranks=N --bytes=B --reps=R\n"
+      "            [--intranode]\n"
+      "  stencil   --variant=na|mp|fence|pscw --ranks=N --rows=R --cols=C\n"
+      "            --iters=I\n"
+      "  tree      --variant=na|mp|pscw|vendor --ranks=N --arity=K\n"
+      "            --elems=E --reps=R\n"
+      "  cholesky  --variant=na|mp|os --ranks=N --nt=T --b=B [--gflops=G]\n"
+      "\n"
+      "common:     [--trace=FILE]  write a Chrome trace of the run\n",
+      stderr);
+  return 2;
+}
+
+int run_pingpong(const Args& a) {
+  const int ranks = static_cast<int>(a.get("ranks", 2));
+  const std::size_t bytes = static_cast<std::size_t>(a.get("bytes", 8));
+  const int reps = static_cast<int>(a.get("reps", 100));
+  const std::string scheme = a.get("scheme", "na");
+  NARMA_CHECK(ranks == 2) << "pingpong needs exactly 2 ranks";
+
+  WorldParams wp;
+  if (a.kv.count("intranode")) wp.fabric.ranks_per_node = ranks;
+  World world(2, wp);
+  if (a.kv.count("trace")) world.enable_tracing();
+
+  std::vector<double> samples;
+  world.run([&](Rank& self) {
+    const int partner = 1 - self.id();
+    auto win = self.win_allocate(2 * bytes + 16, 1);
+    std::vector<std::byte> buf(bytes, std::byte{1});
+    auto req = self.na().notify_init(*win, partner, 9, 1);
+    for (int r = 0; r < reps + 2; ++r) {
+      self.barrier();
+      const Time t0 = self.now();
+      auto ping_pong_na = [&](bool first) {
+        if (first) {
+          self.na().put_notify(*win, buf.data(), bytes, partner, 0, 9);
+          win->flush(partner);
+          self.na().start(req);
+          self.na().wait(req);
+        } else {
+          self.na().start(req);
+          self.na().wait(req);
+          self.na().put_notify(*win, buf.data(), bytes, partner, bytes, 9);
+          win->flush(partner);
+        }
+      };
+      auto ping_pong_mp = [&](bool first) {
+        if (first) {
+          self.send(buf.data(), bytes, partner, 9);
+          self.recv(buf.data(), bytes, partner, 9);
+        } else {
+          self.recv(buf.data(), bytes, partner, 9);
+          self.send(buf.data(), bytes, partner, 9);
+        }
+      };
+      auto ping_pong_os = [&](bool first) {
+        std::array<int, 1> grp{partner};
+        if (first) {
+          win->start(grp);
+          win->put(buf.data(), bytes, partner, 0);
+          win->complete();
+          win->post(grp);
+          win->wait();
+        } else {
+          win->post(grp);
+          win->wait();
+          win->start(grp);
+          win->put(buf.data(), bytes, partner, bytes);
+          win->complete();
+        }
+      };
+      const bool first = self.id() == 0;
+      if (scheme == "mp") {
+        ping_pong_mp(first);
+      } else if (scheme == "os") {
+        ping_pong_os(first);
+      } else {
+        ping_pong_na(first);
+      }
+      if (self.id() == 0 && r >= 2)
+        samples.push_back(to_us(self.now() - t0) / 2.0);
+    }
+    self.barrier();
+  });
+  std::printf("pingpong scheme=%s bytes=%zu reps=%d half_rtt_us=%.3f\n",
+              scheme.c_str(), bytes, reps, stats::median(samples));
+  if (a.kv.count("trace")) world.dump_trace(a.get("trace", "trace.json"));
+  return 0;
+}
+
+int run_stencil(const Args& a) {
+  const int ranks = static_cast<int>(a.get("ranks", 4));
+  apps::StencilConfig cfg;
+  cfg.rows = static_cast<int>(a.get("rows", 256));
+  cfg.total_cols = static_cast<int>(a.get("cols", 1024));
+  cfg.iters = static_cast<int>(a.get("iters", 2));
+  const std::string v = a.get("variant", "na");
+  cfg.variant = v == "mp"      ? apps::StencilVariant::kMessagePassing
+                : v == "fence" ? apps::StencilVariant::kFence
+                : v == "pscw"  ? apps::StencilVariant::kPscw
+                               : apps::StencilVariant::kNotified;
+  World world(ranks);
+  if (a.kv.count("trace")) world.enable_tracing();
+  apps::StencilResult res;
+  world.run([&](Rank& self) {
+    const auto r = apps::run_stencil(self, cfg);
+    if (self.id() == 0) res = r;
+  });
+  std::printf(
+      "stencil variant=%s ranks=%d rows=%d cols=%d gmops=%.4f verified=%s\n",
+      v.c_str(), ranks, cfg.rows, cfg.total_cols, res.gmops,
+      res.verified ? "yes" : "NO");
+  if (a.kv.count("trace")) world.dump_trace(a.get("trace", "trace.json"));
+  return res.verified ? 0 : 1;
+}
+
+int run_tree(const Args& a) {
+  const int ranks = static_cast<int>(a.get("ranks", 17));
+  apps::TreeConfig cfg;
+  cfg.arity = static_cast<int>(a.get("arity", 16));
+  cfg.elems = static_cast<std::size_t>(a.get("elems", 1));
+  cfg.reps = static_cast<int>(a.get("reps", 5));
+  const std::string v = a.get("variant", "na");
+  cfg.variant = v == "mp"       ? apps::TreeVariant::kMessagePassing
+                : v == "pscw"   ? apps::TreeVariant::kPscw
+                : v == "vendor" ? apps::TreeVariant::kVendorReduce
+                                : apps::TreeVariant::kNotified;
+  World world(ranks);
+  if (a.kv.count("trace")) world.enable_tracing();
+  apps::TreeResult res;
+  world.run([&](Rank& self) {
+    const auto r = apps::run_tree(self, cfg);
+    if (self.id() == 0) res = r;
+  });
+  std::printf(
+      "tree variant=%s ranks=%d arity=%d elems=%zu us_per_op=%.2f "
+      "verified=%s\n",
+      v.c_str(), ranks, cfg.arity, cfg.elems, res.per_op_us,
+      res.verified ? "yes" : "NO");
+  if (a.kv.count("trace")) world.dump_trace(a.get("trace", "trace.json"));
+  return res.verified ? 0 : 1;
+}
+
+int run_cholesky(const Args& a) {
+  const int ranks = static_cast<int>(a.get("ranks", 4));
+  apps::CholeskyConfig cfg;
+  cfg.nt = static_cast<int>(a.get("nt", 12));
+  cfg.b = static_cast<int>(a.get("b", 32));
+  cfg.model_gflops = static_cast<double>(a.get("gflops", 10));
+  const std::string v = a.get("variant", "na");
+  cfg.variant = v == "mp"   ? apps::CholeskyVariant::kMessagePassing
+                : v == "os" ? apps::CholeskyVariant::kOneSided
+                            : apps::CholeskyVariant::kNotified;
+  World world(ranks);
+  if (a.kv.count("trace")) world.enable_tracing();
+  apps::CholeskyResult res;
+  world.run([&](Rank& self) {
+    const auto r = apps::run_cholesky(self, cfg);
+    if (self.id() == 0) res = r;
+  });
+  std::printf(
+      "cholesky variant=%s ranks=%d nt=%d b=%d time_ms=%.3f gflops=%.3f "
+      "residual=%.2e verified=%s\n",
+      v.c_str(), ranks, cfg.nt, cfg.b, to_ms(res.elapsed), res.gflops,
+      res.residual, res.verified ? "yes" : "NO");
+  if (a.kv.count("trace")) world.dump_trace(a.get("trace", "trace.json"));
+  return res.verified ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  if (a.command == "pingpong") return run_pingpong(a);
+  if (a.command == "stencil") return run_stencil(a);
+  if (a.command == "tree") return run_tree(a);
+  if (a.command == "cholesky") return run_cholesky(a);
+  return usage();
+}
