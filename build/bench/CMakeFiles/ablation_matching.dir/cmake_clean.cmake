@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_matching.dir/ablation_matching.cpp.o"
+  "CMakeFiles/ablation_matching.dir/ablation_matching.cpp.o.d"
+  "ablation_matching"
+  "ablation_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

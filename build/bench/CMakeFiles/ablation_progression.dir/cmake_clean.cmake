@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_progression.dir/ablation_progression.cpp.o"
+  "CMakeFiles/ablation_progression.dir/ablation_progression.cpp.o.d"
+  "ablation_progression"
+  "ablation_progression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_progression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

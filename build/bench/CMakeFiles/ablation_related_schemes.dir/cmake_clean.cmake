@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_related_schemes.dir/ablation_related_schemes.cpp.o"
+  "CMakeFiles/ablation_related_schemes.dir/ablation_related_schemes.cpp.o.d"
+  "ablation_related_schemes"
+  "ablation_related_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_related_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_pingpong_put.dir/fig3a_pingpong_put.cpp.o"
+  "CMakeFiles/fig3a_pingpong_put.dir/fig3a_pingpong_put.cpp.o.d"
+  "fig3a_pingpong_put"
+  "fig3a_pingpong_put.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_pingpong_put.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3a_pingpong_put.
+# This may be replaced when dependencies are built.

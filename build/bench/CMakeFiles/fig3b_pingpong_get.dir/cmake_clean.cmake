@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_pingpong_get.dir/fig3b_pingpong_get.cpp.o"
+  "CMakeFiles/fig3b_pingpong_get.dir/fig3b_pingpong_get.cpp.o.d"
+  "fig3b_pingpong_get"
+  "fig3b_pingpong_get.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_pingpong_get.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3c_pingpong_shm.dir/fig3c_pingpong_shm.cpp.o"
+  "CMakeFiles/fig3c_pingpong_shm.dir/fig3c_pingpong_shm.cpp.o.d"
+  "fig3c_pingpong_shm"
+  "fig3c_pingpong_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_pingpong_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

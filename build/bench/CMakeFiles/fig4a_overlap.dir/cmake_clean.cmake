@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_overlap.dir/fig4a_overlap.cpp.o"
+  "CMakeFiles/fig4a_overlap.dir/fig4a_overlap.cpp.o.d"
+  "fig4a_overlap"
+  "fig4a_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4c_tree.dir/fig4c_tree.cpp.o"
+  "CMakeFiles/fig4c_tree.dir/fig4c_tree.cpp.o.d"
+  "fig4c_tree"
+  "fig4c_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cholesky.dir/fig5_cholesky.cpp.o"
+  "CMakeFiles/fig5_cholesky.dir/fig5_cholesky.cpp.o.d"
+  "fig5_cholesky"
+  "fig5_cholesky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secV_cachemisses.dir/secV_cachemisses.cpp.o"
+  "CMakeFiles/secV_cachemisses.dir/secV_cachemisses.cpp.o.d"
+  "secV_cachemisses"
+  "secV_cachemisses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secV_cachemisses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

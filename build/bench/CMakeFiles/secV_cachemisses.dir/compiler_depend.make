@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for secV_cachemisses.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for secV_cachemisses.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secV_overheads.dir/secV_overheads.cpp.o"
+  "CMakeFiles/secV_overheads.dir/secV_overheads.cpp.o.d"
+  "secV_overheads"
+  "secV_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secV_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

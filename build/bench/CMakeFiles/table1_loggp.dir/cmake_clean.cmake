@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_loggp.dir/table1_loggp.cpp.o"
+  "CMakeFiles/table1_loggp.dir/table1_loggp.cpp.o.d"
+  "table1_loggp"
+  "table1_loggp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_loggp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

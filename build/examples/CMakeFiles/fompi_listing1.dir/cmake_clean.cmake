@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fompi_listing1.dir/fompi_listing1.cpp.o"
+  "CMakeFiles/fompi_listing1.dir/fompi_listing1.cpp.o.d"
+  "fompi_listing1"
+  "fompi_listing1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fompi_listing1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

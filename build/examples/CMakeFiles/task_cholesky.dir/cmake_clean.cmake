@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_cholesky.dir/task_cholesky.cpp.o"
+  "CMakeFiles/task_cholesky.dir/task_cholesky.cpp.o.d"
+  "task_cholesky"
+  "task_cholesky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

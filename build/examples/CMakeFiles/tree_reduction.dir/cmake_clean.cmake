@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_reduction.dir/tree_reduction.cpp.o"
+  "CMakeFiles/tree_reduction.dir/tree_reduction.cpp.o.d"
+  "tree_reduction"
+  "tree_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narma_apps.dir/cholesky.cpp.o"
+  "CMakeFiles/narma_apps.dir/cholesky.cpp.o.d"
+  "CMakeFiles/narma_apps.dir/stencil.cpp.o"
+  "CMakeFiles/narma_apps.dir/stencil.cpp.o.d"
+  "CMakeFiles/narma_apps.dir/tree.cpp.o"
+  "CMakeFiles/narma_apps.dir/tree.cpp.o.d"
+  "libnarma_apps.a"
+  "libnarma_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narma_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

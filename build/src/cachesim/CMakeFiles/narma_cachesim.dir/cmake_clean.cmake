@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narma_cachesim.dir/cache.cpp.o"
+  "CMakeFiles/narma_cachesim.dir/cache.cpp.o.d"
+  "libnarma_cachesim.a"
+  "libnarma_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narma_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

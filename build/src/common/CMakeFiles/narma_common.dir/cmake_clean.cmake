@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narma_common.dir/env.cpp.o"
+  "CMakeFiles/narma_common.dir/env.cpp.o.d"
+  "CMakeFiles/narma_common.dir/stats.cpp.o"
+  "CMakeFiles/narma_common.dir/stats.cpp.o.d"
+  "CMakeFiles/narma_common.dir/table.cpp.o"
+  "CMakeFiles/narma_common.dir/table.cpp.o.d"
+  "libnarma_common.a"
+  "libnarma_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narma_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narma_core.dir/notify.cpp.o"
+  "CMakeFiles/narma_core.dir/notify.cpp.o.d"
+  "CMakeFiles/narma_core.dir/related_schemes.cpp.o"
+  "CMakeFiles/narma_core.dir/related_schemes.cpp.o.d"
+  "CMakeFiles/narma_core.dir/world.cpp.o"
+  "CMakeFiles/narma_core.dir/world.cpp.o.d"
+  "libnarma_core.a"
+  "libnarma_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narma_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narma_linalg.dir/kernels.cpp.o"
+  "CMakeFiles/narma_linalg.dir/kernels.cpp.o.d"
+  "CMakeFiles/narma_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/narma_linalg.dir/matrix.cpp.o.d"
+  "libnarma_linalg.a"
+  "libnarma_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narma_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

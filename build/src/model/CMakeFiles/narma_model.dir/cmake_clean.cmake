@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narma_model.dir/loggp.cpp.o"
+  "CMakeFiles/narma_model.dir/loggp.cpp.o.d"
+  "libnarma_model.a"
+  "libnarma_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narma_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

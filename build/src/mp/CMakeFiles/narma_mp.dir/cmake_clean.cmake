@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narma_mp.dir/collectives.cpp.o"
+  "CMakeFiles/narma_mp.dir/collectives.cpp.o.d"
+  "CMakeFiles/narma_mp.dir/endpoint.cpp.o"
+  "CMakeFiles/narma_mp.dir/endpoint.cpp.o.d"
+  "libnarma_mp.a"
+  "libnarma_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narma_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

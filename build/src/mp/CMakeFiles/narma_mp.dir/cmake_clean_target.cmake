@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnarma_mp.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narma_net.dir/fabric.cpp.o"
+  "CMakeFiles/narma_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/narma_net.dir/nic.cpp.o"
+  "CMakeFiles/narma_net.dir/nic.cpp.o.d"
+  "libnarma_net.a"
+  "libnarma_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narma_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

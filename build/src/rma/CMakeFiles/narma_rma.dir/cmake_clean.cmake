@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narma_rma.dir/window.cpp.o"
+  "CMakeFiles/narma_rma.dir/window.cpp.o.d"
+  "libnarma_rma.a"
+  "libnarma_rma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narma_rma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

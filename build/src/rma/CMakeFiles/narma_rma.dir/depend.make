@@ -1,0 +1,2 @@
+# Empty dependencies file for narma_rma.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narma_sim.dir/engine.cpp.o"
+  "CMakeFiles/narma_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/narma_sim.dir/trace.cpp.o"
+  "CMakeFiles/narma_sim.dir/trace.cpp.o.d"
+  "libnarma_sim.a"
+  "libnarma_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narma_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

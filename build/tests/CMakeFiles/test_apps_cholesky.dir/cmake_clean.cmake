@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_cholesky.dir/test_apps_cholesky.cpp.o"
+  "CMakeFiles/test_apps_cholesky.dir/test_apps_cholesky.cpp.o.d"
+  "test_apps_cholesky"
+  "test_apps_cholesky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

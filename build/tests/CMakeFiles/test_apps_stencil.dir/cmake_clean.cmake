@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_stencil.dir/test_apps_stencil.cpp.o"
+  "CMakeFiles/test_apps_stencil.dir/test_apps_stencil.cpp.o.d"
+  "test_apps_stencil"
+  "test_apps_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

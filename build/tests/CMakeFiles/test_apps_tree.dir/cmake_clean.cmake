@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_tree.dir/test_apps_tree.cpp.o"
+  "CMakeFiles/test_apps_tree.dir/test_apps_tree.cpp.o.d"
+  "test_apps_tree"
+  "test_apps_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

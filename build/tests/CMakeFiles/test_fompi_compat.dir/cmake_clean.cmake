@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fompi_compat.dir/test_fompi_compat.cpp.o"
+  "CMakeFiles/test_fompi_compat.dir/test_fompi_compat.cpp.o.d"
+  "test_fompi_compat"
+  "test_fompi_compat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fompi_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

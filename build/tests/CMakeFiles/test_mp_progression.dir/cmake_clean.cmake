@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mp_progression.dir/test_mp_progression.cpp.o"
+  "CMakeFiles/test_mp_progression.dir/test_mp_progression.cpp.o.d"
+  "test_mp_progression"
+  "test_mp_progression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mp_progression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_na.dir/test_na.cpp.o"
+  "CMakeFiles/test_na.dir/test_na.cpp.o.d"
+  "test_na"
+  "test_na.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_na.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_na_extensions.dir/test_na_extensions.cpp.o"
+  "CMakeFiles/test_na_extensions.dir/test_na_extensions.cpp.o.d"
+  "test_na_extensions"
+  "test_na_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_na_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

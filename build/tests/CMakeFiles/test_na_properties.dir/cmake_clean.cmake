@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_na_properties.dir/test_na_properties.cpp.o"
+  "CMakeFiles/test_na_properties.dir/test_na_properties.cpp.o.d"
+  "test_na_properties"
+  "test_na_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_na_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_performance_model.dir/test_performance_model.cpp.o"
+  "CMakeFiles/test_performance_model.dir/test_performance_model.cpp.o.d"
+  "test_performance_model"
+  "test_performance_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_performance_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_transactions.dir/test_protocol_transactions.cpp.o"
+  "CMakeFiles/test_protocol_transactions.dir/test_protocol_transactions.cpp.o.d"
+  "test_protocol_transactions"
+  "test_protocol_transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

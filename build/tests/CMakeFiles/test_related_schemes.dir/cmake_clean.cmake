@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_related_schemes.dir/test_related_schemes.cpp.o"
+  "CMakeFiles/test_related_schemes.dir/test_related_schemes.cpp.o.d"
+  "test_related_schemes"
+  "test_related_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_related_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

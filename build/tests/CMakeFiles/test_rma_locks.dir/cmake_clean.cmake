@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rma_locks.dir/test_rma_locks.cpp.o"
+  "CMakeFiles/test_rma_locks.dir/test_rma_locks.cpp.o.d"
+  "test_rma_locks"
+  "test_rma_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rma_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strided.dir/test_strided.cpp.o"
+  "CMakeFiles/test_strided.dir/test_strided.cpp.o.d"
+  "test_strided"
+  "test_strided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/narma_cli.cpp" "tools/CMakeFiles/narma_cli.dir/narma_cli.cpp.o" "gcc" "tools/CMakeFiles/narma_cli.dir/narma_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/narma_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/narma_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/narma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/narma_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rma/CMakeFiles/narma_rma.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/narma_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/narma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/narma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/narma_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/narma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

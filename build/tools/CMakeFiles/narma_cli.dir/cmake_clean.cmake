@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narma_cli.dir/narma_cli.cpp.o"
+  "CMakeFiles/narma_cli.dir/narma_cli.cpp.o.d"
+  "narma_cli"
+  "narma_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narma_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
