@@ -10,6 +10,7 @@
 #include "cachesim/cache.hpp"
 #include "common/ring_buffer.hpp"
 #include "common/rng.hpp"
+#include "core/notify.hpp"
 #include "net/types.hpp"
 #include "sim/engine.hpp"
 
@@ -77,6 +78,54 @@ static void BM_UqScan(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_UqScan)->Range(1, 4096)->Complexity(benchmark::oN);
+
+static void BM_UqIndexFindConsume(benchmark::State& state) {
+  // The indexed matcher's hot path at a given UQ depth: one failed lookup
+  // (wrong tag, the ablation scenario) plus one hit/consume/re-park cycle.
+  // Flat in depth, in contrast with BM_UqScan.
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  na::UqIndex uq;
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < depth; ++i) {
+    na::UqEntry e;
+    e.imm = net::encode_imm(static_cast<int>(i), 1);
+    e.window = 1;
+    e.seq = seq++;
+    uq.insert(e);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uq.find_oldest(1, na::kAnySource, 2));  // miss
+    na::UqEntry* hit = uq.find_oldest(1, na::kAnySource, 1);
+    na::UqEntry repark = *hit;
+    uq.erase(hit->seq);
+    repark.seq = seq++;
+    uq.insert(repark);
+    benchmark::DoNotOptimize(uq.size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_UqIndexFindConsume)->Range(16, 4096)->Complexity(benchmark::o1);
+
+static void BM_SlotPoolAllocRelease(benchmark::State& state) {
+  // Request-slot churn through the slab pool (the notify_init/free path).
+  na::SlotPool pool;
+  for (auto _ : state) {
+    na::RequestSlot* s = pool.alloc();
+    benchmark::DoNotOptimize(s);
+    pool.release(s);
+  }
+}
+BENCHMARK(BM_SlotPoolAllocRelease);
+
+static void BM_SlotHeapAllocRelease(benchmark::State& state) {
+  // Baseline: the same churn through the general-purpose heap.
+  for (auto _ : state) {
+    auto* s = new na::RequestSlot();
+    benchmark::DoNotOptimize(s);
+    delete s;
+  }
+}
+BENCHMARK(BM_SlotHeapAllocRelease);
 
 static void BM_EngineEventThroughput(benchmark::State& state) {
   // Events posted and drained inside a single-rank engine run; measures

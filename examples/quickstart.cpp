@@ -8,6 +8,7 @@
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 #include <cstdio>
+#include <span>
 #include <vector>
 
 #include "narma/narma.hpp"
@@ -26,17 +27,19 @@ int main() {
                                  sizeof(double));
     std::vector<double> buf(kMaxDoubles, 1.0);
 
-    // MPI_Notify_init: persistent request, one expected notification.
-    narma::na::NotifyRequest req =
-        self.na().notify_init(*win, partner, kTag, 1);
+    // MPI_Notify_init: persistent request, one expected notification
+    // matching <partner, kTag>.
+    narma::NotifyRequest req = self.na().notify_init(
+        *win, narma::MatchSpec{partner, kTag}, 1);
 
     for (std::size_t size = 8; size <= kMaxDoubles; size *= 2) {
       self.barrier();
       const narma::Time t0 = self.now();
 
+      const auto payload =
+          std::as_bytes(std::span(buf.data(), size));
       if (self.id() == 0) {  // client: ping, then wait for the pong
-        self.na().put_notify(*win, buf.data(), size * sizeof(double),
-                             partner, 0, kTag);
+        self.na().put_notify(*win, payload, partner, 0, kTag);
         win->flush(partner);
         self.na().start(req);
         self.na().wait(req);
@@ -48,8 +51,7 @@ int main() {
         self.na().wait(req, &status);
         // The status describes the last matching access.
         NARMA_CHECK(status.source == 0 && status.tag == kTag);
-        self.na().put_notify(*win, buf.data(), size * sizeof(double),
-                             partner, kMaxDoubles, kTag);
+        self.na().put_notify(*win, payload, partner, kMaxDoubles, kTag);
         win->flush(partner);
       }
     }

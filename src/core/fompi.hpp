@@ -24,6 +24,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "core/world.hpp"
 
@@ -154,8 +155,10 @@ inline int foMPI_Put_notify(const void* origin_addr, int origin_count,
                   datatype_size(target_type))
       << "origin/target type signatures disagree";
   detail::rank().na().put_notify(
-      *win->win, origin_addr,
-      static_cast<std::size_t>(origin_count) * datatype_size(origin_type),
+      *win->win,
+      std::span<const std::byte>(
+          static_cast<const std::byte*>(origin_addr),
+          static_cast<std::size_t>(origin_count) * datatype_size(origin_type)),
       target_rank, target_disp, tag);
   return FOMPI_SUCCESS;
 }
@@ -170,8 +173,10 @@ inline int foMPI_Get_notify(void* origin_addr, int origin_count,
                   datatype_size(target_type))
       << "origin/target type signatures disagree";
   detail::rank().na().get_notify(
-      *win->win, origin_addr,
-      static_cast<std::size_t>(origin_count) * datatype_size(origin_type),
+      *win->win,
+      std::span<std::byte>(
+          static_cast<std::byte*>(origin_addr),
+          static_cast<std::size_t>(origin_count) * datatype_size(origin_type)),
       target_rank, target_disp, tag);
   return FOMPI_SUCCESS;
 }
@@ -180,8 +185,8 @@ inline int foMPI_Notify_init(foMPI_Win win, int source, int tag,
                              std::uint32_t expected_count,
                              foMPI_Request* request) {
   auto* r = new foMPI_RequestImpl;
-  r->req = detail::rank().na().notify_init(*win->win, source, tag,
-                                           expected_count);
+  r->req = detail::rank().na().notify_init(
+      *win->win, na::MatchSpec{source, tag}, expected_count);
   *request = r;
   return FOMPI_SUCCESS;
 }

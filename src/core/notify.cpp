@@ -1,8 +1,105 @@
 #include "core/notify.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <utility>
 
 namespace narma::na {
+
+// ------------------------------------------------------------- SlotPool --
+
+RequestSlot* SlotPool::alloc() {
+  if (free_.empty()) {
+    slabs_.push_back(std::make_unique<RequestSlot[]>(kSlabSlots));
+    RequestSlot* base = slabs_.back().get();
+    // Reverse order so the LIFO free list hands out ascending addresses.
+    for (std::size_t i = kSlabSlots; i-- > 0;) free_.push_back(base + i);
+    stats_.capacity += kSlabSlots;
+  } else {
+    ++stats_.recycled;
+  }
+  RequestSlot* s = free_.back();
+  free_.pop_back();
+  *s = RequestSlot{};
+  ++stats_.live;
+  return s;
+}
+
+void SlotPool::release(RequestSlot* slot) {
+  NARMA_CHECK(slot != nullptr && stats_.live > 0);
+  free_.push_back(slot);
+  --stats_.live;
+}
+
+// -------------------------------------------------------------- UqIndex --
+
+void UqIndex::link(const UqEntry& e) {
+  const std::uint64_t window = e.window;
+  exact_[Key{window, e.imm}].push_back(e.seq);
+  by_tag_[Key{window, net::imm_tag(e.imm)}].push_back(e.seq);
+  by_src_[Key{window, static_cast<std::uint64_t>(net::imm_source(e.imm))}]
+      .push_back(e.seq);
+  by_win_[Key{window, 0}].push_back(e.seq);
+}
+
+void UqIndex::insert(UqEntry e) {
+  link(e);
+  const std::uint64_t seq = e.seq;
+  entries_.emplace(seq, std::move(e));
+}
+
+UqEntry* UqIndex::front_of(ListMap& map, const Key& key) {
+  auto mit = map.find(key);
+  if (mit == map.end()) return nullptr;
+  SeqList& list = mit->second;
+  while (!list.empty()) {
+    auto eit = entries_.find(list.front());
+    if (eit != entries_.end()) return &eit->second;
+    list.pop_front();  // consumed through another list: prune lazily
+    --stale_;
+  }
+  map.erase(mit);
+  return nullptr;
+}
+
+UqEntry* UqIndex::find_oldest(std::uint64_t window, int source, int tag) {
+  // Each request shape consults the one list whose members are exactly its
+  // candidate set, in ascending sequence (= arrival) order.
+  if (source != kAnySource && tag != kAnyTag)
+    return front_of(exact_,
+                    Key{window, net::encode_imm(source,
+                                                static_cast<std::uint32_t>(
+                                                    tag))});
+  if (source == kAnySource && tag != kAnyTag)
+    return front_of(by_tag_, Key{window, static_cast<std::uint64_t>(tag)});
+  if (source != kAnySource)
+    return front_of(by_src_, Key{window, static_cast<std::uint64_t>(source)});
+  return front_of(by_win_, Key{window, 0});
+}
+
+void UqIndex::erase(std::uint64_t seq) {
+  if (entries_.erase(seq)) {
+    stale_ += 4;  // one reference per list, all now dangling
+    maybe_compact();
+  }
+}
+
+void UqIndex::maybe_compact() {
+  // Rebuild the lists once stale references dominate; amortized O(1) per
+  // erase, keeps memory proportional to live entries.
+  if (stale_ <= 4 * entries_.size() + 64) return;
+  exact_.clear();
+  by_tag_.clear();
+  by_src_.clear();
+  by_win_.clear();
+  std::vector<const UqEntry*> live;
+  live.reserve(entries_.size());
+  for (const auto& [seq, e] : entries_) live.push_back(&e);
+  std::sort(live.begin(), live.end(),
+            [](const UqEntry* a, const UqEntry* b) { return a->seq < b->seq; });
+  for (const UqEntry* e : live) link(*e);
+  stale_ = 0;
+}
 
 // --------------------------------------------------------- NotifyRequest --
 
@@ -10,13 +107,19 @@ NotifyRequest::~NotifyRequest() {
   if (slot_ && engine_) engine_->free(*this);
 }
 
+NotifyRequest::NotifyRequest(NotifyRequest&& other) noexcept
+    : slot_(std::exchange(other.slot_, nullptr)),
+      status_(other.status_),
+      engine_(std::exchange(other.engine_, nullptr)) {}
+
 NotifyRequest& NotifyRequest::operator=(NotifyRequest&& other) noexcept {
   if (this != &other) {
+    // Release an already-owned slot through the engine so the pool gets it
+    // back and t_free is charged — never drop it silently.
     if (slot_ && engine_) engine_->free(*this);
-    slot_ = std::move(other.slot_);
+    slot_ = std::exchange(other.slot_, nullptr);
     status_ = other.status_;
-    engine_ = other.engine_;
-    other.engine_ = nullptr;
+    engine_ = std::exchange(other.engine_, nullptr);
   }
   return *this;
 }
@@ -28,7 +131,7 @@ NaEngine::NaEngine(net::MsgRouter& router, NaParams params)
 
 // --- Origin side --------------------------------------------------------------
 
-void NaEngine::put_notify(rma::Window& win, const void* src, std::size_t bytes,
+void NaEngine::put_notify(rma::Window& win, std::span<const std::byte> src,
                           int target, std::uint64_t target_disp, int tag) {
   NARMA_CHECK(tag >= 0 && static_cast<std::uint32_t>(tag) <= net::kMaxTag)
       << "notified-access tag " << tag << " outside the " << net::kTagBits
@@ -36,6 +139,7 @@ void NaEngine::put_notify(rma::Window& win, const void* src, std::size_t bytes,
   net::Nic& nic = router_.nic();
   nic.ctx().advance(params_.t_na);
 
+  const std::size_t bytes = src.size();
   const std::uint32_t imm = net::encode_imm(nic.rank(), tag);
   const std::uint64_t offset = win.byte_offset(target_disp);
   net::Fabric& fabric = nic.fabric();
@@ -52,12 +156,12 @@ void NaEngine::put_notify(rma::Window& win, const void* src, std::size_t bytes,
       // Inline transfer: the payload rides inside the notification entry
       // and is committed by the target at match time.
       n.inline_len = static_cast<std::uint8_t>(bytes);
-      if (bytes) std::memcpy(n.inline_data.data(), src, bytes);
+      if (bytes) std::memcpy(n.inline_data.data(), src.data(), bytes);
     } else {
       // Optimized memcpy + fence, then the notification (same channel, so
       // FIFO delivery guarantees the data is committed first).
       n.inline_len = 0;
-      nic.put(target, win.remote_key(target), offset, src, bytes, {},
+      nic.put(target, win.remote_key(target), offset, src.data(), bytes, {},
               &win.pending(target));
     }
     nic.send_shm_notification(target, n, &win.pending(target));
@@ -65,11 +169,12 @@ void NaEngine::put_notify(rma::Window& win, const void* src, std::size_t bytes,
   }
 
   // uGNI path: RDMA put with the immediate posted to the destination CQ.
-  nic.put(target, win.remote_key(target), offset, src, bytes,
+  nic.put(target, win.remote_key(target), offset, src.data(), bytes,
           {true, imm, win.id()}, &win.pending(target));
 }
 
-void NaEngine::put_notify_strided(rma::Window& win, const void* src,
+void NaEngine::put_notify_strided(rma::Window& win,
+                                  std::span<const std::byte> src,
                                   std::size_t block_bytes,
                                   std::size_t nblocks,
                                   std::size_t src_stride_bytes, int target,
@@ -77,13 +182,16 @@ void NaEngine::put_notify_strided(rma::Window& win, const void* src,
                                   std::uint64_t target_stride, int tag) {
   NARMA_CHECK(tag >= 0 && static_cast<std::uint32_t>(tag) <= net::kMaxTag)
       << "notified-access tag " << tag << " outside the immediate range";
+  NARMA_CHECK(nblocks == 0 ||
+              src.size() >= (nblocks - 1) * src_stride_bytes + block_bytes)
+      << "source span smaller than the strided extent";
   net::Nic& nic = router_.nic();
   nic.ctx().advance(params_.t_na);
   const std::uint32_t imm = net::encode_imm(nic.rank(), tag);
 
   std::vector<net::Nic::IoSegment> segs;
   segs.reserve(nblocks);
-  const auto* base = static_cast<const std::byte*>(src);
+  const std::byte* base = src.data();
   for (std::size_t b = 0; b < nblocks; ++b) {
     segs.push_back({win.byte_offset(target_disp + b * target_stride),
                     base + b * src_stride_bytes, block_bytes});
@@ -95,7 +203,7 @@ void NaEngine::put_notify_strided(rma::Window& win, const void* src,
               &win.pending(target));
 }
 
-void NaEngine::get_notify(rma::Window& win, void* dst, std::size_t bytes,
+void NaEngine::get_notify(rma::Window& win, std::span<std::byte> dst,
                           int target, std::uint64_t target_disp, int tag) {
   NARMA_CHECK(tag >= 0 && static_cast<std::uint32_t>(tag) <= net::kMaxTag)
       << "notified-access tag " << tag << " outside the immediate range";
@@ -105,8 +213,9 @@ void NaEngine::get_notify(rma::Window& win, void* dst, std::size_t bytes,
   // Both inter- and intra-node notified gets use the destination-CQ path:
   // uGNI immediates are available for reads too (unlike InfiniBand, paper
   // Sec. IV-A), and the target polls both queues anyway.
-  nic.get(target, win.remote_key(target), win.byte_offset(target_disp), dst,
-          bytes, {true, imm, win.id()}, &win.pending(target));
+  nic.get(target, win.remote_key(target), win.byte_offset(target_disp),
+          dst.data(), dst.size(), {true, imm, win.id()},
+          &win.pending(target));
 }
 
 void NaEngine::fetch_add_notify_i64(rma::Window& win, int target,
@@ -137,23 +246,24 @@ void NaEngine::compare_swap_notify_i64(rma::Window& win, int target,
 
 // --- Target side ----------------------------------------------------------------
 
-NotifyRequest NaEngine::notify_init(rma::Window& win, int source, int tag,
+NotifyRequest NaEngine::notify_init(rma::Window& win, MatchSpec match,
                                     std::uint32_t expected) {
-  NARMA_CHECK(source == kAnySource ||
-              (source >= 0 && source < win.nranks()))
-      << "bad notification source " << source;
-  NARMA_CHECK(tag == kAnyTag ||
-              (tag >= 0 && static_cast<std::uint32_t>(tag) <= net::kMaxTag))
-      << "bad notification tag " << tag;
+  NARMA_CHECK(match.any_source() ||
+              (match.source >= 0 && match.source < win.nranks()))
+      << "bad notification source " << match.source;
+  NARMA_CHECK(match.any_tag() ||
+              (match.tag >= 0 &&
+               static_cast<std::uint32_t>(match.tag) <= net::kMaxTag))
+      << "bad notification tag " << match.tag;
   NARMA_CHECK(expected >= 1) << "expected_count must be positive";
   router_.nic().ctx().advance(params_.t_init);
 
   NotifyRequest req;
   req.engine_ = this;
-  req.slot_ = std::make_unique<RequestSlot>();
+  req.slot_ = pool_.alloc();
   req.slot_->window = win.id();
-  req.slot_->source = source;
-  req.slot_->tag = tag;
+  req.slot_->source = match.source;
+  req.slot_->tag = match.tag;
   req.slot_->expected = expected;
   req.slot_->matched = 0;
   req.slot_->started = 0;
@@ -167,7 +277,8 @@ void NaEngine::start(NotifyRequest& req) {
   req.slot_->started = 1;
 }
 
-void NaEngine::consume(RequestSlot& s, NaStatus& st, const UqEntry& e) {
+void NaEngine::consume(RequestSlot& s, NaStatus& st,
+                       const net::HwNotification& e) {
   ++s.matched;
   st.source = net::imm_source(e.imm);
   st.tag = static_cast<int>(net::imm_tag(e.imm));
@@ -186,45 +297,105 @@ void NaEngine::consume(RequestSlot& s, NaStatus& st, const UqEntry& e) {
 
 bool NaEngine::pop_hw(UqEntry& out) {
   net::Nic& nic = router_.nic();
-  auto& cq = nic.dest_cq();
-  auto& ring = nic.shm_ring();
-  const bool has_cq = !cq.empty();
-  const bool has_ring = !ring.empty();
-  if (!has_cq && !has_ring) return false;
-
-  // Merge the two hardware queues by arrival time (ties: CQ first) so the
-  // UQ preserves global arrival order.
-  const bool take_cq =
-      has_cq && (!has_ring || cq.front().time <= ring.front().time);
+  net::HwNotification n;
+  if (nic.pop_hw_batch({&n, 1}) == 0) return false;
   if (cache_) {
     // Hardware-queue access; tracked but not counted as matching overhead.
-    const void* head = take_cq ? static_cast<const void*>(&cq.front())
-                               : static_cast<const void*>(&ring.front());
-    misses_.hw_cq +=
-        cache_->touch(reinterpret_cast<std::uint64_t>(head), 64);
+    misses_.hw_cq += cache_->touch_span(n.queue_slot, 64);
   }
-  if (take_cq) {
-    const net::Cqe c = cq.pop();
-    out = UqEntry{};
-    out.imm = c.imm;
-    out.window = c.window;
-    out.bytes = c.bytes;
-    out.time = c.time;
-  } else {
-    const net::ShmNotification n = ring.pop();
-    out = UqEntry{};
-    out.imm = n.imm;
-    out.window = n.window;
-    out.bytes = n.bytes;
-    out.time = n.time;
-    out.from_shm = true;
-    out.key = n.key;
-    out.offset = n.offset;
-    out.inline_len = n.inline_len;
-    if (n.inline_len) out.inline_data = n.inline_data;
-  }
-  router_.nic().ctx().advance(params_.cq_poll);
+  static_cast<net::HwNotification&>(out) = n;
+  out.seq = next_seq_++;
+  nic.ctx().advance(params_.cq_poll);
   return true;
+}
+
+std::size_t NaEngine::hw_batch_capacity() const {
+  return std::clamp<std::size_t>(params_.hw_drain_batch, 1, kMaxHwDrainBatch);
+}
+
+std::size_t NaEngine::drain_hw(std::span<net::HwNotification> out) {
+  net::Nic& nic = router_.nic();
+  const std::size_t n = nic.pop_hw_batch(out);
+  if (n == 0) return 0;
+  nic.ctx().advance(params_.cq_poll + (n - 1) * params_.cq_poll_batch);
+  if (cache_) {
+    for (std::size_t i = 0; i < n; ++i)
+      misses_.hw_cq += cache_->touch_span(out[i].queue_slot, 64);
+  }
+  return n;
+}
+
+void NaEngine::test_linear(RequestSlot& s, NaStatus& st) {
+  net::Nic& nic = router_.nic();
+  // Second compulsory access: the UQ header (head pointer + first entries
+  // share a cache line in the paper's layout; we model the header access).
+  if (cache_) misses_.uq += cache_->touch_span(&uq_, 8);
+
+  // 1) Scan the unexpected queue in arrival order.
+  for (auto it = uq_.begin(); it != uq_.end() && s.matched < s.expected;) {
+    nic.ctx().advance(params_.uq_scan);
+    if (cache_ && it != uq_.begin())
+      misses_.uq += cache_->touch_object(&*it);
+    if (matches(s, it->imm, it->window)) {
+      consume(s, st, *it);
+      it = uq_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // 2) Poll the hardware queues; non-matching notifications go to the UQ.
+  UqEntry e;
+  while (s.matched < s.expected && pop_hw(e)) {
+    if (matches(s, e.imm, e.window)) {
+      consume(s, st, e);
+    } else {
+      uq_.push_back(e);
+    }
+  }
+}
+
+void NaEngine::test_indexed(RequestSlot& s, NaStatus& st) {
+  net::Nic& nic = router_.nic();
+  // Second compulsory access: the UQ-index header (bucket array head).
+  if (cache_) misses_.uq += cache_->touch_span(&uq_index_, 8);
+
+  // 1) Consume from the indexed UQ: one hash probe finds the oldest
+  //    matching notification regardless of queue depth.
+  if (!uq_index_.empty()) {
+    nic.ctx().advance(params_.uq_index_lookup);
+    while (s.matched < s.expected) {
+      UqEntry* e = uq_index_.find_oldest(
+          s.window, static_cast<int>(s.source), s.tag);
+      if (!e) break;
+      if (cache_) misses_.uq += cache_->touch_object(e);
+      const std::uint64_t seq = e->seq;
+      consume(s, st, *e);
+      uq_index_.erase(seq);
+    }
+  }
+
+  // 2) Drain the hardware queues in batches; non-matching notifications
+  //    are parked in the index. Entries popped after the request completes
+  //    mid-batch are parked too — nothing is lost, and arrival order is
+  //    preserved by the sequence numbers.
+  std::array<net::HwNotification, kMaxHwDrainBatch> batch;
+  const std::size_t cap = hw_batch_capacity();
+  while (s.matched < s.expected) {
+    const std::size_t n = drain_hw({batch.data(), cap});
+    if (n == 0) break;
+    for (std::size_t i = 0; i < n; ++i) {
+      UqEntry e;
+      static_cast<net::HwNotification&>(e) = batch[i];
+      e.seq = next_seq_++;
+      if (s.matched < s.expected && matches(s, e.imm, e.window)) {
+        consume(s, st, e);
+      } else {
+        nic.ctx().advance(params_.uq_index_insert);
+        uq_index_.insert(std::move(e));
+      }
+    }
+  }
 }
 
 bool NaEngine::test(NotifyRequest& req, NaStatus* status) {
@@ -244,31 +415,11 @@ bool NaEngine::test(NotifyRequest& req, NaStatus* status) {
 
   // First compulsory access: the request slot itself.
   if (cache_) misses_.request += cache_->touch_object(&s);
-  // Second compulsory access: the UQ header (head pointer + first entries
-  // share a cache line in the paper's layout; we model the header access).
-  if (cache_) misses_.uq += cache_->touch(reinterpret_cast<std::uint64_t>(&uq_), 8);
 
-  // 1) Scan the unexpected queue in arrival order.
-  for (auto it = uq_.begin(); it != uq_.end() && s.matched < s.expected;) {
-    nic.ctx().advance(params_.uq_scan);
-    if (cache_ && it != uq_.begin())
-      misses_.uq += cache_->touch_object(&*it);
-    if (matches(s, it->imm, it->window)) {
-      consume(s, req.status_, *it);
-      it = uq_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-
-  // 2) Poll the hardware queues; non-matching notifications go to the UQ.
-  UqEntry e;
-  while (s.matched < s.expected && pop_hw(e)) {
-    if (matches(s, e.imm, e.window)) {
-      consume(s, req.status_, e);
-    } else {
-      uq_.push_back(e);
-    }
+  if (params_.matcher == Matcher::kLinear) {
+    test_linear(s, req.status_);
+  } else {
+    test_indexed(s, req.status_);
   }
 
   if (s.matched >= s.expected) {
@@ -320,23 +471,15 @@ void NaEngine::wait_all(std::span<NotifyRequest*> reqs) {
 void NaEngine::free(NotifyRequest& req) {
   NARMA_CHECK(req.valid());
   router_.nic().ctx().advance(params_.t_free);
-  req.slot_.reset();
+  pool_.release(req.slot_);
+  req.slot_ = nullptr;
   req.engine_ = nullptr;
 }
 
-bool NaEngine::iprobe(rma::Window& win, int source, int tag,
-                      NaStatus* status) {
-  NARMA_CHECK(source == kAnySource || (source >= 0 && source < win.nranks()));
+bool NaEngine::iprobe_linear(const RequestSlot& probe_slot,
+                             NaStatus* status) {
   net::Nic& nic = router_.nic();
-  nic.ctx().drain();
-
-  // Probe matching reuses the request predicate with a throwaway slot.
-  RequestSlot probe_slot;
-  probe_slot.window = win.id();
-  probe_slot.source = source;
-  probe_slot.tag = tag;
-
-  auto report = [&](const UqEntry& e) {
+  auto report = [&](const net::HwNotification& e) {
     if (status) {
       status->source = net::imm_source(e.imm);
       status->tag = static_cast<int>(net::imm_tag(e.imm));
@@ -359,10 +502,70 @@ bool NaEngine::iprobe(rma::Window& win, int source, int tag,
   return false;
 }
 
-NaStatus NaEngine::probe(rma::Window& win, int source, int tag) {
+bool NaEngine::iprobe_indexed(const RequestSlot& probe_slot,
+                              NaStatus* status) {
+  net::Nic& nic = router_.nic();
+  auto report = [&](const net::HwNotification& e) {
+    if (status) {
+      status->source = net::imm_source(e.imm);
+      status->tag = static_cast<int>(net::imm_tag(e.imm));
+      status->bytes = e.bytes;
+    }
+    return true;
+  };
+
+  if (!uq_index_.empty()) {
+    nic.ctx().advance(params_.uq_index_lookup);
+    if (const UqEntry* e = uq_index_.find_oldest(
+            probe_slot.window, static_cast<int>(probe_slot.source),
+            probe_slot.tag))
+      return report(*e);
+  }
+  // Park hardware-queue entries in the index until a match surfaces (a
+  // probe never consumes). The whole popped batch is parked; the reported
+  // match is the first in arrival order.
+  std::array<net::HwNotification, kMaxHwDrainBatch> batch;
+  const std::size_t cap = hw_batch_capacity();
+  while (true) {
+    const std::size_t n = drain_hw({batch.data(), cap});
+    if (n == 0) return false;
+    bool found = false;
+    net::HwNotification hit;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!found && matches(probe_slot, batch[i].imm, batch[i].window)) {
+        found = true;
+        hit = batch[i];
+      }
+      UqEntry e;
+      static_cast<net::HwNotification&>(e) = batch[i];
+      e.seq = next_seq_++;
+      nic.ctx().advance(params_.uq_index_insert);
+      uq_index_.insert(std::move(e));
+    }
+    if (found) return report(hit);
+  }
+}
+
+bool NaEngine::iprobe(rma::Window& win, MatchSpec match, NaStatus* status) {
+  NARMA_CHECK(match.any_source() ||
+              (match.source >= 0 && match.source < win.nranks()));
+  router_.nic().ctx().drain();
+
+  // Probe matching reuses the request predicate with a throwaway slot.
+  RequestSlot probe_slot;
+  probe_slot.window = win.id();
+  probe_slot.source = match.source;
+  probe_slot.tag = match.tag;
+
+  return params_.matcher == Matcher::kLinear
+             ? iprobe_linear(probe_slot, status)
+             : iprobe_indexed(probe_slot, status);
+}
+
+NaStatus NaEngine::probe(rma::Window& win, MatchSpec match) {
   NaStatus st;
   router_.wait_progress(
-      [&] { return iprobe(win, source, tag, &st); }, "na-probe");
+      [&] { return iprobe(win, match, &st); }, "na-probe");
   return st;
 }
 

@@ -6,18 +6,30 @@
 // flush), plus a completion notification delivered to the *target*.
 //
 // Target side: persistent notification requests (notify_init / start /
-// test / wait) with MPI-style <source, tag> matching, wildcards, and
-// counting (a request completes after `expected` matching accesses). The
-// engine maintains a single per-rank Unexpected Queue (UQ): test first scans
-// the UQ in arrival order, then polls the hardware queues (the uGNI-like
-// destination CQ and the XPMEM-like shared-memory notification ring, merged
-// by arrival time); non-matching notifications are appended to the UQ for
-// later matching — exactly the paper's Sec. IV-B algorithm.
+// test / wait) with MPI-style <source, tag> matching (MatchSpec), wildcards,
+// and counting (a request completes after `expected` matching accesses).
 //
-// The cache-model hooks reproduce the paper's Sec. V analysis: a completing
-// test touches the 32-byte request slot and the UQ header — two compulsory
-// cache lines — while hardware-CQ accesses are tracked separately because
-// "any notification system would incur these".
+// Matching engines (NaParams::matcher):
+//
+//  * kIndexed (default): notifications that fail to match are parked in an
+//    *indexed* unexpected queue (UqIndex) — a hash table keyed on exact
+//    <window, source, tag> plus wildcard lists keyed <window, tag>,
+//    <window, source> and <window>, all carrying globally monotonic
+//    sequence numbers. Every request shape (exact/exact, any-source,
+//    any-tag, any/any) maps to exactly one list whose front is the oldest
+//    matching notification, so a test() is O(1) in UQ depth while
+//    reproducing the paper's Sec. IV-B arrival-order semantics exactly.
+//    Hardware queues are drained in batches (Nic::pop_hw_batch) so one
+//    test amortizes CQ polling over a burst of completions.
+//
+//  * kLinear: the original algorithm — scan the UQ in arrival order, then
+//    poll the hardware queues one entry at a time. Kept selectable for the
+//    matching-cost ablation (bench/ablation_matching.cpp).
+//
+// Request slots live in a slab pool (SlotPool): contiguous 32-byte slots,
+// free-list reuse, so the cache-model hooks keep charging the paper's
+// Sec. V two-compulsory-lines story (request slot + UQ header) and
+// notify_init/free never touch the general-purpose heap.
 #pragma once
 
 #include <array>
@@ -25,6 +37,8 @@
 #include <deque>
 #include <memory>
 #include <span>
+#include <unordered_map>
+#include <vector>
 
 #include "cachesim/cache.hpp"
 #include "core/na_params.hpp"
@@ -46,17 +60,106 @@ struct alignas(32) RequestSlot {
 };
 static_assert(sizeof(RequestSlot) == 32);
 
+/// Slab allocator backing RequestSlots: contiguous 32-byte slots carved from
+/// 2 KiB slabs, recycled through a LIFO free list so the most recently freed
+/// (hottest) slot is reused first. Slot addresses are stable for the life of
+/// the pool.
+class SlotPool {
+ public:
+  struct Stats {
+    std::size_t live = 0;      // slots currently owned by requests
+    std::size_t capacity = 0;  // slots ever carved from slabs
+    std::size_t recycled = 0;  // allocations served by free-list reuse
+  };
+
+  RequestSlot* alloc();
+  void release(RequestSlot* slot);
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr std::size_t kSlabSlots = 64;  // 64 * 32 B = 2 KiB slabs
+
+  std::vector<std::unique_ptr<RequestSlot[]>> slabs_;
+  std::vector<RequestSlot*> free_;
+  Stats stats_;
+};
+
+/// A notification parked in the unexpected queue: the merged hardware
+/// notification plus its global arrival sequence number.
+struct UqEntry : net::HwNotification {
+  std::uint64_t seq = 0;
+};
+
+/// Indexed unexpected queue. Entries are stored once (keyed by sequence
+/// number) and referenced from four FIFO lists:
+///
+///   exact_  keyed <window, imm>     — consulted by exact-source/exact-tag
+///   by_tag_ keyed <window, tag>     — consulted by any-source requests
+///   by_src_ keyed <window, source>  — consulted by any-tag requests
+///   by_win_ keyed <window>          — consulted by fully wildcard requests
+///
+/// Each request shape maps to exactly one list whose members are precisely
+/// its candidate set in ascending sequence order, so the front (after lazy
+/// pruning of consumed entries) is the oldest match — the same notification
+/// a linear arrival-order scan would pick. Consumption erases the entry
+/// from the store; the stale references left in the other lists are pruned
+/// lazily and bounded by periodic compaction.
+class UqIndex {
+ public:
+  /// Parks a notification (e.seq must be assigned, strictly increasing).
+  void insert(UqEntry e);
+
+  /// Oldest parked entry matching <window, source, tag> (wildcards allowed);
+  /// nullptr when none. The pointer stays valid until erase() of that entry.
+  UqEntry* find_oldest(std::uint64_t window, int source, int tag);
+
+  /// Consumes the entry with sequence number `seq`.
+  void erase(std::uint64_t seq);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Key {
+    std::uint64_t window = 0;
+    std::uint64_t sel = 0;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::uint64_t h = k.window * 0x9e3779b97f4a7c15ULL;
+      h ^= k.sel + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+  using SeqList = std::deque<std::uint64_t>;
+  using ListMap = std::unordered_map<Key, SeqList, KeyHash>;
+
+  void link(const UqEntry& e);
+  UqEntry* front_of(ListMap& map, const Key& key);
+  void maybe_compact();
+
+  std::unordered_map<std::uint64_t, UqEntry> entries_;
+  ListMap exact_;
+  ListMap by_tag_;
+  ListMap by_src_;
+  ListMap by_win_;
+  std::size_t stale_ = 0;  // references to already-consumed entries
+};
+
 class NaEngine;
 
 /// Persistent notification request handle. Lifecycle (paper Sec. III-B1):
 /// notify_init -> (start -> test/wait)* -> free. Freeing is explicit via
-/// NaEngine::free or implicit on destruction.
+/// NaEngine::free or implicit on destruction. The slot is pool-backed: a
+/// moved-into request that already owns a slot releases it through
+/// NaEngine::free (charging t_free) before adopting the new one.
 class NotifyRequest {
  public:
   NotifyRequest() = default;
   ~NotifyRequest();
-  NotifyRequest(NotifyRequest&&) noexcept = default;
-  NotifyRequest& operator=(NotifyRequest&&) noexcept;
+  NotifyRequest(NotifyRequest&& other) noexcept;
+  NotifyRequest& operator=(NotifyRequest&& other) noexcept;
   NotifyRequest(const NotifyRequest&) = delete;
   NotifyRequest& operator=(const NotifyRequest&) = delete;
 
@@ -67,7 +170,7 @@ class NotifyRequest {
 
  private:
   friend class NaEngine;
-  std::unique_ptr<RequestSlot> slot_;
+  RequestSlot* slot_ = nullptr;  // owned; backed by the engine's SlotPool
   NaStatus status_;
   NaEngine* engine_ = nullptr;
 };
@@ -75,6 +178,9 @@ class NotifyRequest {
 /// Per-rank Notified Access engine.
 class NaEngine {
  public:
+  /// Upper bound on NaParams::hw_drain_batch (stack buffer size).
+  static constexpr std::size_t kMaxHwDrainBatch = 64;
+
   NaEngine(net::MsgRouter& router, NaParams params);
   NaEngine(const NaEngine&) = delete;
   NaEngine& operator=(const NaEngine&) = delete;
@@ -87,21 +193,46 @@ class NaEngine {
   /// Notified put: one-sided write plus a <source, tag> notification that
   /// becomes visible at the target when the data is committed. Local
   /// completion via win.flush(target), as in the paper's Listing 1.
-  void put_notify(rma::Window& win, const void* src, std::size_t bytes,
+  void put_notify(rma::Window& win, std::span<const std::byte> src,
                   int target, std::uint64_t target_disp, int tag);
 
   /// Notified get: one-sided read; the *target* is notified when its memory
   /// has been read and may reuse the buffer (reliable-network semantics).
-  void get_notify(rma::Window& win, void* dst, std::size_t bytes, int target,
+  void get_notify(rma::Window& win, std::span<std::byte> dst, int target,
                   std::uint64_t target_disp, int tag);
 
   /// Notified strided put (vector-datatype shape): one network operation,
-  /// one notification covering the whole noncontiguous access.
-  void put_notify_strided(rma::Window& win, const void* src,
+  /// one notification covering the whole noncontiguous access. `src` must
+  /// cover the full strided extent ((nblocks-1) * src_stride_bytes +
+  /// block_bytes).
+  void put_notify_strided(rma::Window& win, std::span<const std::byte> src,
                           std::size_t block_bytes, std::size_t nblocks,
                           std::size_t src_stride_bytes, int target,
                           std::uint64_t target_disp,
                           std::uint64_t target_stride, int tag);
+
+  /// Deprecated raw-pointer shims; prefer the std::span overloads above.
+  void put_notify(rma::Window& win, const void* src, std::size_t bytes,
+                  int target, std::uint64_t target_disp, int tag) {
+    put_notify(win, {static_cast<const std::byte*>(src), bytes}, target,
+               target_disp, tag);
+  }
+  void get_notify(rma::Window& win, void* dst, std::size_t bytes, int target,
+                  std::uint64_t target_disp, int tag) {
+    get_notify(win, {static_cast<std::byte*>(dst), bytes}, target,
+               target_disp, tag);
+  }
+  void put_notify_strided(rma::Window& win, const void* src,
+                          std::size_t block_bytes, std::size_t nblocks,
+                          std::size_t src_stride_bytes, int target,
+                          std::uint64_t target_disp,
+                          std::uint64_t target_stride, int tag) {
+    const std::size_t extent =
+        nblocks ? (nblocks - 1) * src_stride_bytes + block_bytes : 0;
+    put_notify_strided(win, {static_cast<const std::byte*>(src), extent},
+                       block_bytes, nblocks, src_stride_bytes, target,
+                       target_disp, target_stride, tag);
+  }
 
   /// Notified fetch-and-add (the accumulate family of the strawman API).
   void fetch_add_notify_i64(rma::Window& win, int target,
@@ -118,9 +249,15 @@ class NaEngine {
   // --- Target side -----------------------------------------------------------
 
   /// Initializes a persistent request matching `expected` notified accesses
-  /// from `source` (or kAnySource) with `tag` (or kAnyTag) on `win`.
-  NotifyRequest notify_init(rma::Window& win, int source, int tag,
+  /// whose <source, tag> satisfies `match` on `win`.
+  NotifyRequest notify_init(rma::Window& win, MatchSpec match,
                             std::uint32_t expected);
+
+  /// Deprecated (int source, int tag) shim; prefer the MatchSpec overload.
+  NotifyRequest notify_init(rma::Window& win, int source, int tag,
+                            std::uint32_t expected) {
+    return notify_init(win, MatchSpec{source, tag}, expected);
+  }
 
   /// Re-arms a persistent request (resets the matched counter).
   void start(NotifyRequest& req);
@@ -140,21 +277,31 @@ class NaEngine {
   /// Blocks until every request completes (MPI_Waitall semantics).
   void wait_all(std::span<NotifyRequest*> reqs);
 
-  /// Releases a persistent request (charges t_free).
+  /// Releases a persistent request (charges t_free; the slot returns to
+  /// the pool).
   void free(NotifyRequest& req);
 
   /// Nonblocking probe (paper Sec. III-B: "probe semantics can be added
-  /// trivially"): reports whether a notification matching <source, tag> on
-  /// `win` has arrived, without consuming it. Non-matching hardware-queue
+  /// trivially"): reports whether a notification matching `match` on `win`
+  /// has arrived, without consuming it. Non-matching hardware-queue
   /// entries inspected on the way are parked in the UQ as usual.
-  bool iprobe(rma::Window& win, int source, int tag, NaStatus* status);
+  bool iprobe(rma::Window& win, MatchSpec match, NaStatus* status = nullptr);
 
   /// Blocking probe: waits until a matching notification is available.
-  NaStatus probe(rma::Window& win, int source, int tag);
+  NaStatus probe(rma::Window& win, MatchSpec match);
+
+  /// Deprecated (int source, int tag) probe shims.
+  bool iprobe(rma::Window& win, int source, int tag, NaStatus* status) {
+    return iprobe(win, MatchSpec{source, tag}, status);
+  }
+  NaStatus probe(rma::Window& win, int source, int tag) {
+    return probe(win, MatchSpec{source, tag});
+  }
 
   // --- Introspection / instrumentation -----------------------------------------
 
-  std::size_t uq_size() const { return uq_.size(); }
+  std::size_t uq_size() const { return uq_.size() + uq_index_.size(); }
+  const SlotPool::Stats& pool_stats() const { return pool_.stats(); }
 
   struct CacheMisses {
     std::uint64_t request = 0;  // request-slot lines
@@ -169,19 +316,6 @@ class NaEngine {
   void reset_cache_misses() { misses_ = CacheMisses{}; }
 
  private:
-  struct UqEntry {
-    std::uint32_t imm = 0;
-    std::uint64_t window = 0;
-    std::uint32_t bytes = 0;
-    Time time = 0;
-    bool from_shm = false;  // arrived through the XPMEM notification ring
-    // Shared-memory inline payload, committed at match time.
-    net::MemKey key = net::kInvalidMemKey;
-    std::uint64_t offset = 0;
-    std::uint8_t inline_len = 0;
-    std::array<std::byte, net::kShmInlineCapacity> inline_data{};
-  };
-
   static bool matches(const RequestSlot& s, std::uint32_t imm,
                       std::uint64_t window) {
     return s.window == window &&
@@ -191,17 +325,34 @@ class NaEngine {
             static_cast<std::uint32_t>(s.tag) == net::imm_tag(imm));
   }
 
-  /// Applies a matched entry to the request (status, inline commit).
-  void consume(RequestSlot& s, NaStatus& st, const UqEntry& e);
+  /// Applies a matched notification to the request (status, inline commit).
+  void consume(RequestSlot& s, NaStatus& st, const net::HwNotification& e);
   /// Pops the oldest hardware notification (CQ or shm ring, merged by
-  /// arrival time) into `out`; false if both queues are empty.
+  /// arrival time) into `out`; false if both queues are empty. The
+  /// one-at-a-time path of the linear matcher (charges cq_poll per entry).
   bool pop_hw(UqEntry& out);
+  /// Batched drain for the indexed matcher: fills `out` (bounded by
+  /// hw_drain_batch), charges cq_poll for the first entry and cq_poll_batch
+  /// for each additional one, and records hardware-queue cache lines.
+  std::size_t drain_hw(std::span<net::HwNotification> out);
+  std::size_t hw_batch_capacity() const;
+
+  /// test()/iprobe() bodies of the two matching engines.
+  void test_linear(RequestSlot& s, NaStatus& st);
+  void test_indexed(RequestSlot& s, NaStatus& st);
+  bool iprobe_linear(const RequestSlot& probe_slot, NaStatus* status);
+  bool iprobe_indexed(const RequestSlot& probe_slot, NaStatus* status);
 
   net::MsgRouter& router_;
   NaParams params_;
-  // The UQ header (head index into the deque) is modeled as one cache line
-  // together with the first entries, per the paper's layout argument.
+  // Legacy linear matcher state: the UQ header (head index into the deque)
+  // is modeled as one cache line together with the first entries, per the
+  // paper's layout argument.
   std::deque<UqEntry> uq_;
+  // Indexed matcher state.
+  UqIndex uq_index_;
+  std::uint64_t next_seq_ = 0;
+  SlotPool pool_;
   cachesim::Cache* cache_ = nullptr;
   CacheMisses misses_;
 };

@@ -44,6 +44,45 @@ std::byte* Nic::resolve(MemKey key, std::uint64_t offset, std::size_t bytes) {
   return r.base + offset;
 }
 
+// --- Hardware-queue draining -------------------------------------------------
+
+std::size_t Nic::pop_hw_batch(std::span<HwNotification> out) {
+  std::size_t n = 0;
+  while (n < out.size()) {
+    const bool has_cq = !dest_cq_.empty();
+    const bool has_ring = !shm_ring_.empty();
+    if (!has_cq && !has_ring) break;
+    // Merge by arrival time (ties: CQ first) so the consumer observes the
+    // same global order a single merged hardware queue would produce.
+    const bool take_cq =
+        has_cq &&
+        (!has_ring || dest_cq_.front().time <= shm_ring_.front().time);
+    HwNotification& o = out[n++];
+    o = HwNotification{};
+    if (take_cq) {
+      o.queue_slot = &dest_cq_.front();
+      const Cqe c = dest_cq_.pop();
+      o.imm = c.imm;
+      o.window = c.window;
+      o.bytes = c.bytes;
+      o.time = c.time;
+    } else {
+      o.queue_slot = &shm_ring_.front();
+      const ShmNotification s = shm_ring_.pop();
+      o.imm = s.imm;
+      o.window = s.window;
+      o.bytes = s.bytes;
+      o.time = s.time;
+      o.from_shm = true;
+      o.key = s.key;
+      o.offset = s.offset;
+      o.inline_len = s.inline_len;
+      if (s.inline_len) o.inline_data = s.inline_data;
+    }
+  }
+  return n;
+}
+
 // --- Completion delivery ----------------------------------------------------
 
 void Nic::push_cqe(const Cqe& cqe) {

@@ -136,6 +136,13 @@ class Nic {
   RingBuffer<ShmNotification>& shm_ring() { return shm_ring_; }
   RingBuffer<NetMsg>& mailbox() { return mailbox_; }
 
+  /// Drains up to out.size() hardware notifications, merging the destination
+  /// CQ and the shm ring by arrival time (ties: CQ first) so consumers see
+  /// global arrival order. Returns the number of entries written. Pure data
+  /// movement: polling overheads are charged by the protocol layer, which
+  /// can amortize them over the whole batch (one test() drains many CQEs).
+  std::size_t pop_hw_batch(std::span<HwNotification> out);
+
   /// Installs a delivery hook invoked (in event context) for every incoming
   /// control message; returning true consumes the message instead of
   /// enqueueing it. Models an asynchronous software progression agent.

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <unordered_map>
 
 #include "net/nic.hpp"
@@ -69,6 +70,14 @@ class MsgRouter {
       nic_.ctx().wait(nic_.progress(), label);
       progress();
     }
+  }
+
+  /// Batched hardware-notification drain: processes pending deliveries up to
+  /// the rank's clock, then forwards to Nic::pop_hw_batch. Lets one poll
+  /// amortize over a whole burst of completions.
+  std::size_t pop_hw_batch(std::span<HwNotification> out) {
+    nic_.ctx().drain();
+    return nic_.pop_hw_batch(out);
   }
 
   Nic& nic() { return nic_; }

@@ -63,6 +63,27 @@ struct ShmNotification {
 constexpr std::size_t kShmInlineCapacity =
     sizeof(ShmNotification::inline_data);
 
+/// One hardware notification after merging the two delivery queues (the
+/// uGNI-like destination CQ and the XPMEM-like shm ring) by arrival time.
+/// This is the unit Nic::pop_hw_batch hands to the matching engine; the
+/// protocol layer charges polling costs, the NIC only moves data.
+struct HwNotification {
+  std::uint32_t imm = 0;     // encoded <source, tag>
+  std::uint64_t window = 0;  // protocol-layer cookie (window id)
+  std::uint32_t bytes = 0;   // payload size of the triggering access
+  Time time = 0;             // virtual delivery time
+  bool from_shm = false;     // arrived through the XPMEM notification ring
+  // Shared-memory inline payload, committed by the consumer at match time.
+  MemKey key = kInvalidMemKey;
+  std::uint64_t offset = 0;
+  std::uint8_t inline_len = 0;
+  std::array<std::byte, kShmInlineCapacity> inline_data{};
+  /// Address of the hardware-queue slot this entry was popped from; lets
+  /// the cache model charge the queue's lines without the NIC knowing
+  /// about the cache simulator.
+  const void* queue_slot = nullptr;
+};
+
 /// Small typed control message (mailbox entry). The protocol layers define
 /// the `kind` space; h0..h3 carry protocol headers; `payload` carries eager
 /// message data.

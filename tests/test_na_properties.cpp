@@ -4,9 +4,11 @@
 // message counts, sizes, and node layouts.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <map>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "core/world.hpp"
 
 using namespace narma;
@@ -185,6 +187,130 @@ TEST(NaDeterminism, IdenticalRunsIdenticalVirtualTimes) {
     return times;
   };
   EXPECT_EQ(run_once(), run_once());
+}
+
+// ---------------------------------------------------------------------------
+// Matcher equivalence: the indexed O(1) matching engine must produce exactly
+// the same match order as the legacy linear arrival-order scan — including
+// wildcard requests competing with exact ones — on randomized schedules.
+//
+// A schedule is: P producers each firing K notifications with random tags at
+// one consumer; after everything has arrived, the consumer runs a random
+// sequence of requests (random <source|any, tag|any> specs, random expected
+// counts), records how many notifications each consumed and the status of
+// the last match, then drains the leftovers one wildcard match at a time to
+// capture the residual arrival order. The trace must be identical between
+// matchers for every seed.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct MatchTrace {
+  // {phase, matched, completed, status.source, status.tag}
+  std::vector<std::array<int, 5>> rows;
+  std::size_t final_uq = 0;
+
+  friend bool operator==(const MatchTrace&, const MatchTrace&) = default;
+};
+
+MatchTrace run_schedule(std::uint64_t seed, na::Matcher matcher) {
+  Xoshiro256 rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  const int producers = 1 + static_cast<int>(rng.next_below(3));
+  const int k = 2 + static_cast<int>(rng.next_below(5));
+  const int ntags = 1 + static_cast<int>(rng.next_below(4));
+  // Mix transports: sometimes everything on one node (shm ring), sometimes
+  // one rank per node (destination CQ), sometimes mixed.
+  const int rpn = 1 + static_cast<int>(rng.next_below(
+                          static_cast<std::uint64_t>(producers) + 1));
+
+  std::vector<std::vector<int>> tags(static_cast<std::size_t>(producers));
+  for (auto& v : tags)
+    for (int m = 0; m < k; ++m)
+      v.push_back(static_cast<int>(rng.next_below(
+          static_cast<std::uint64_t>(ntags))));
+
+  struct Spec {
+    int source;
+    int tag;
+    std::uint32_t expected;
+  };
+  std::vector<Spec> specs;
+  const int nreq = 3 + static_cast<int>(rng.next_below(6));
+  for (int r = 0; r < nreq; ++r) {
+    int src = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(producers) + 1));
+    if (src == producers) src = na::kAnySource;
+    int tg = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(ntags) + 1));
+    if (tg == ntags) tg = na::kAnyTag;
+    specs.push_back({src, tg, 1 + static_cast<std::uint32_t>(
+                                      rng.next_below(3))});
+  }
+
+  WorldParams wp;
+  wp.na.matcher = matcher;
+  // Shake out batching bugs: the drain batch size must never be observable.
+  wp.na.hw_drain_batch = 1 + rng.next_below(17);
+  wp.fabric.ranks_per_node = rpn;
+
+  World world(producers + 1, wp);
+  MatchTrace trace;
+  world.run([&](Rank& self) {
+    const int consumer = producers;
+    auto win = self.win_allocate(64, 1);
+    if (self.id() != consumer) {
+      for (int m = 0; m < k; ++m)
+        self.na().put_notify(
+            *win, {}, consumer, 0,
+            tags[static_cast<std::size_t>(self.id())][static_cast<
+                std::size_t>(m)]);
+      win->flush(consumer);
+      self.barrier();
+    } else {
+      self.barrier();  // producers flushed: notifications are in flight
+      self.ctx().yield_until(self.now() + ms(1), "settle");
+
+      for (const Spec& sp : specs) {
+        auto req = self.na().notify_init(
+            *win, na::MatchSpec{sp.source, sp.tag}, sp.expected);
+        self.na().start(req);
+        const bool done = self.na().test(req);
+        const na::NaStatus& st = req.status();
+        trace.rows.push_back({0, static_cast<int>(req.matched()), done,
+                              st.source, st.tag});
+        self.na().free(req);
+      }
+      // Drain the leftovers one wildcard match at a time: records the full
+      // residual arrival order.
+      while (true) {
+        auto req = self.na().notify_init(*win, na::MatchSpec::any(), 1);
+        self.na().start(req);
+        if (!self.na().test(req)) {
+          self.na().free(req);
+          break;
+        }
+        trace.rows.push_back(
+            {1, 1, 1, req.status().source, req.status().tag});
+        self.na().free(req);
+      }
+      trace.final_uq = self.na().uq_size();
+    }
+  });
+  return trace;
+}
+
+}  // namespace
+
+TEST(NaMatcherEquivalence, IndexedMatchesLinearOn1000RandomSchedules) {
+  for (std::uint64_t seed = 0; seed < 1000; ++seed) {
+    const MatchTrace linear = run_schedule(seed, na::Matcher::kLinear);
+    const MatchTrace indexed = run_schedule(seed, na::Matcher::kIndexed);
+    ASSERT_EQ(linear.rows, indexed.rows) << "match order diverged, seed "
+                                         << seed;
+    ASSERT_EQ(linear.final_uq, indexed.final_uq) << "seed " << seed;
+    // Wildcard drain consumed everything in both engines.
+    EXPECT_EQ(linear.final_uq, 0u) << "seed " << seed;
+  }
 }
 
 // ---------------------------------------------------------------------------
