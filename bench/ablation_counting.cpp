@@ -64,6 +64,6 @@ int main() {
                Table::fmt(one, 2), Table::fmt(many, 2),
                Table::fmt(many - one, 2)});
   }
-  t.print();
+  narma::bench::print(t);
   return 0;
 }

@@ -72,6 +72,6 @@ int main() {
     row.push_back(Table::fmt(stats::median(na_samples), 2));
     t.add_row(std::move(row));
   }
-  t.print();
+  narma::bench::print(t);
   return 0;
 }

@@ -51,7 +51,7 @@ int main() {
     t.add_row({fmt_bytes(s), Table::fmt(on, 3), Table::fmt(off, 3),
                Table::fmt(off / on, 2)});
   }
-  t.print();
+  narma::bench::print(t);
   note("sizes above 32 B always use copy + notification (identical rows)");
   return 0;
 }

@@ -87,7 +87,7 @@ int main() {
                Table::fmt(lin.test_us, 3), Table::fmt(lin.uq_lines, 0),
                Table::fmt(idx.test_us, 3), Table::fmt(idx.uq_lines, 0)});
   }
-  t.print();
+  narma::bench::print(t);
   // The headline claim: indexed test() cost is flat (within 2x) from depth
   // 16 to depth 4096.
   NARMA_CHECK(indexed_4096 <= 2.0 * indexed_16)

@@ -95,7 +95,7 @@ int main() {
                    Table::fmt(on.sender_cpu_us, 1),
                Table::fmt(na, 1)});
   }
-  t.print();
+  narma::bench::print(t);
   note("the agent un-stalls the receiver (and shortens the sender's "
        "trailing wait) at the cost of stolen CPU cycles; notified access "
        "gets the offload for free");

@@ -174,7 +174,7 @@ int main() {
                    Table::fmt(static_cast<std::size_t>(ov.transfers)) + "/" +
                    Table::fmt(static_cast<std::size_t>(ct.transfers))});
   }
-  t.print();
+  narma::bench::print(t);
   note("overwriting scans P*M destination slots per completion; counting "
        "is cheap at the consumer but (a) moves twice the transfers (data + "
        "id) and (b) relies on statically pre-partitioned per-producer id "

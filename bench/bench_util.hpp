@@ -4,10 +4,14 @@
 // regenerates, the fixed parameters, and one plain-text table whose rows
 // mirror the paper's series. Repetition counts and problem sizes accept
 // environment overrides (NARMA_REPS, NARMA_SCALE) so the full suite can be
-// shrunk for smoke runs.
+// shrunk for smoke runs. With NARMA_JSON=<path> set, the same tables are
+// additionally written at exit as machine-readable JSON
+// (schema "narma.bench.v1": artifact, parameter notes, headers, rows).
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -25,11 +29,109 @@ inline int reps(int fallback) {
 /// Global problem-size multiplier (1.0 = paper-shaped defaults).
 inline double scale() { return env::get_double("NARMA_SCALE", 1.0); }
 
+namespace detail {
+
+/// Collects the artifact header, parameter notes, and printed tables of the
+/// running bench binary; flushed to NARMA_JSON at exit.
+struct JsonSink {
+  struct Recorded {
+    std::string artifact;
+    std::string what;
+    std::vector<std::string> notes;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  std::string path = env::get_string("NARMA_JSON", "");
+  std::string artifact, what;
+  std::vector<std::string> notes;
+  std::vector<Recorded> tables;
+
+  static JsonSink& instance() {
+    static JsonSink sink;
+    return sink;
+  }
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out.push_back(c);
+          }
+      }
+    }
+    return out;
+  }
+
+  void flush() const {
+    if (path.empty() || tables.empty()) return;
+    std::ofstream out(path);
+    if (!out) return;
+    out << "{\n  \"schema\": \"narma.bench.v1\",\n  \"tables\": [\n";
+    for (std::size_t t = 0; t < tables.size(); ++t) {
+      const Recorded& r = tables[t];
+      out << "    {\n      \"artifact\": \"" << escape(r.artifact)
+          << "\",\n      \"what\": \"" << escape(r.what)
+          << "\",\n      \"notes\": [";
+      for (std::size_t i = 0; i < r.notes.size(); ++i)
+        out << (i ? ", " : "") << '"' << escape(r.notes[i]) << '"';
+      out << "],\n      \"headers\": [";
+      for (std::size_t i = 0; i < r.headers.size(); ++i)
+        out << (i ? ", " : "") << '"' << escape(r.headers[i]) << '"';
+      out << "],\n      \"rows\": [\n";
+      for (std::size_t i = 0; i < r.rows.size(); ++i) {
+        out << "        [";
+        for (std::size_t j = 0; j < r.rows[i].size(); ++j)
+          out << (j ? ", " : "") << '"' << escape(r.rows[i][j]) << '"';
+        out << (i + 1 < r.rows.size() ? "],\n" : "]\n");
+      }
+      out << (t + 1 < tables.size() ? "      ]\n    },\n" : "      ]\n    }\n");
+    }
+    out << "  ]\n}\n";
+  }
+
+ private:
+  JsonSink() = default;
+  // Flushed when the function-local static dies at normal exit; an atexit
+  // callback registered from the ctor would instead run *after* that
+  // destructor and read freed strings.
+  ~JsonSink() { flush(); }
+};
+
+}  // namespace detail
+
 inline void header(const char* artifact, const char* what) {
   std::printf("\n=== %s — %s ===\n", artifact, what);
+  detail::JsonSink& sink = detail::JsonSink::instance();
+  sink.artifact = artifact;
+  sink.what = what;
+  sink.notes.clear();
 }
 
-inline void note(const std::string& s) { std::printf("%s\n", s.c_str()); }
+inline void note(const std::string& s) {
+  std::printf("%s\n", s.c_str());
+  detail::JsonSink::instance().notes.push_back(s);
+}
+
+/// Prints the table and records it for the NARMA_JSON export. Benches call
+/// this instead of Table::print() so both outputs stay in sync.
+inline void print(const Table& t) {
+  t.print();
+  detail::JsonSink& sink = detail::JsonSink::instance();
+  sink.tables.push_back({sink.artifact, sink.what, sink.notes, t.headers(),
+                         t.rows()});
+}
 
 /// Formats a byte count the way the paper's axes do.
 inline std::string fmt_bytes(std::size_t b) {

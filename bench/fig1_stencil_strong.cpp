@@ -71,6 +71,6 @@ int main() {
     row.push_back(all_ok ? "yes" : "NO");
     t.add_row(std::move(row));
   }
-  t.print();
+  narma::bench::print(t);
   return 0;
 }

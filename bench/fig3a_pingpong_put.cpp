@@ -30,6 +30,6 @@ int main() {
     t.add_row({fmt_bytes(s), Table::fmt(mp), Table::fmt(os), Table::fmt(na),
                Table::fmt(lb), Table::fmt(na / mp, 2), Table::fmt(na / os, 2)});
   }
-  t.print();
+  narma::bench::print(t);
   return 0;
 }

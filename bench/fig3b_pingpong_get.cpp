@@ -26,6 +26,6 @@ int main() {
     t.add_row({fmt_bytes(s), Table::fmt(mp), Table::fmt(osg), Table::fmt(ng),
                Table::fmt(ng / osg, 2)});
   }
-  t.print();
+  narma::bench::print(t);
   return 0;
 }

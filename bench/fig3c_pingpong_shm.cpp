@@ -29,6 +29,6 @@ int main() {
     t.add_row({fmt_bytes(s), Table::fmt(mp), Table::fmt(os), Table::fmt(na),
                Table::fmt(lb)});
   }
-  t.print();
+  narma::bench::print(t);
   return 0;
 }

@@ -118,7 +118,7 @@ int main() {
     }
     t.add_row(std::move(row));
   }
-  t.print();
+  narma::bench::print(t);
   note("1.00 = transfer fully hidden behind computation");
   return 0;
 }

@@ -66,6 +66,6 @@ int main() {
     row.push_back(Table::fmt(na_g / mp_g, 2));
     t.add_row(std::move(row));
   }
-  t.print();
+  narma::bench::print(t);
   return 0;
 }

@@ -49,7 +49,7 @@ int main() {
       row.push_back(Table::fmt(na_t / mp_t, 2));
       t.add_row(std::move(row));
     }
-    t.print();
+    narma::bench::print(t);
   }
   return 0;
 }

@@ -86,7 +86,7 @@ void report(const char* title, na::Matcher matcher) {
                Table::fmt(total, 2), Table::fmt(r.hw_misses, 2),
                active < 4 ? "<= 2" : "-"});
   }
-  t.print();
+  narma::bench::print(t);
 }
 
 }  // namespace

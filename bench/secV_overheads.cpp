@@ -81,6 +81,6 @@ int main() {
   t.add_row({"MPI_Start (t_start)", Table::fmt(t_start, 3), "0.008"});
   t.add_row({"MPI_Put_notify issue (t_na=o_s)", Table::fmt(t_na, 3), "0.290"});
   t.add_row({"completing test/wait (o_r)", Table::fmt(o_r, 3), "0.070"});
-  t.print();
+  narma::bench::print(t);
   return 0;
 }

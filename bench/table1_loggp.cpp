@@ -107,7 +107,7 @@ int main() {
              Table::fmt(bte.fit.G_ns_per_byte, 3),
              Table::fmt(fp.bte.G_ps_per_byte / 1000.0, 3), "0.101",
              Table::fmt(bte.r2, 5)});
-  t.print();
+  narma::bench::print(t);
   note("fit intercepts include the per-message injection gap g and (shm) "
        "the notification cache line, so fitted L sits slightly above the "
        "configured wire latency");

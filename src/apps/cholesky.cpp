@@ -178,6 +178,7 @@ class CholeskyRun {
         << "tile (" << i << "," << k << ") received twice at rank " << p_;
     mark_present(i, k);
     ++received_;
+    c_tiles_received_.inc();
     forward_tile(i, k);
   }
 
@@ -210,6 +211,10 @@ class CholeskyRun {
   std::size_t next_ring_slot_ = 1;
   std::size_t received_ = 0;
   na::NotifyRequest req_;
+
+  // App-level observability; disengaged handles are no-ops.
+  obs::Counter c_kernels_;
+  obs::Counter c_tiles_received_;
 };
 
 CholeskyResult CholeskyRun::run() {
@@ -220,11 +225,17 @@ CholeskyResult CholeskyRun::run() {
   const std::size_t to_receive =
       n_ == 1 ? 0 : total_broadcast_tiles() - mine;
 
+  if (obs::Registry* reg = self_.world().metrics()) {
+    c_kernels_ = reg->counter("app.chol_kernels", p_);
+    c_tiles_received_ = reg->counter("app.chol_tiles_received", p_);
+  }
+
   self_.barrier();
   const Time t0 = self_.now();
 
   // Kernel execution with either measured or modeled compute charging.
   auto charge_kernel = [&](double flops, auto&& fn) {
+    c_kernels_.inc();
     if (cfg_.model_gflops > 0) {
       fn();
       self_.ctx().advance(ns(flops / cfg_.model_gflops));

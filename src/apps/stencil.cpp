@@ -159,10 +159,19 @@ StencilResult run_stencil(Rank& self, const StencilConfig& cfg) {
     }
   };
 
+  // App-level observability: iteration count and per-iteration duration.
+  obs::Counter c_iters;
+  obs::Histogram h_iter_ns;
+  if (obs::Registry* reg = self.world().metrics()) {
+    c_iters = reg->counter("app.stencil_iters", self.id());
+    h_iter_ns = reg->histogram("app.stencil_iter_ns", self.id());
+  }
+
   self.barrier();
   const Time t0 = self.now();
 
   for (int iter = 0; iter < cfg.iters; ++iter) {
+    const Time iter0 = self.now();
     switch (cfg.variant) {
       case StencilVariant::kMessagePassing: {
         for (int r = 1; r < cfg.rows; ++r) {
@@ -276,6 +285,8 @@ StencilResult run_stencil(Rank& self, const StencilConfig& cfg) {
         break;
       }
     }
+    c_iters.inc();
+    h_iter_ns.record_time(self.now() - iter0);
   }
 
   self.barrier();

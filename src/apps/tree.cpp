@@ -66,6 +66,14 @@ TreeResult run_tree(Rank& self, const TreeConfig& cfg) {
     for (std::size_t i = 0; i < cfg.elems; ++i) acc[i] += src[i];
   };
 
+  // App-level observability: reduction count and per-reduction duration.
+  obs::Counter c_reductions;
+  obs::Histogram h_reduction_ns;
+  if (obs::Registry* reg = self.world().metrics()) {
+    c_reductions = reg->counter("app.tree_reductions", self.id());
+    h_reduction_ns = reg->histogram("app.tree_reduction_ns", self.id());
+  }
+
   // Each repetition is separated by a barrier (no pipelining across
   // reductions), and only the in-reduction span is accumulated; the root
   // finishes last, so the allgathered maximum is the reduction latency.
@@ -133,6 +141,8 @@ TreeResult run_tree(Rank& self, const TreeConfig& cfg) {
       }
     }
     timed += self.now() - r0;
+    c_reductions.inc();
+    h_reduction_ns.record_time(self.now() - r0);
   }
 
   self.barrier();

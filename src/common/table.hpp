@@ -26,6 +26,10 @@ class Table {
   /// Renders to stdout.
   void print() const;
 
+  /// Read access for machine-readable exports (bench JSON output).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -49,9 +49,11 @@ void UqIndex::insert(UqEntry e) {
 }
 
 UqEntry* UqIndex::front_of(ListMap& map, const Key& key) {
+  last_list_len_ = 0;
   auto mit = map.find(key);
   if (mit == map.end()) return nullptr;
   SeqList& list = mit->second;
+  last_list_len_ = list.size();
   while (!list.empty()) {
     auto eit = entries_.find(list.front());
     if (eit != entries_.end()) return &eit->second;
@@ -128,6 +130,21 @@ NotifyRequest& NotifyRequest::operator=(NotifyRequest&& other) noexcept {
 
 NaEngine::NaEngine(net::MsgRouter& router, NaParams params)
     : router_(router), params_(params) {}
+
+void NaEngine::bind_metrics(obs::Registry& reg) {
+  const int r = rank();
+  c_tests_ = reg.counter("na.tests", r);
+  c_matches_ = reg.counter("na.matches", r);
+  c_uq_inserts_ = reg.counter("na.uq_inserts", r);
+  c_hw_drained_ = reg.counter("na.hw_drained", r);
+  c_miss_request_ = reg.counter("na.cache_miss_request", r);
+  c_miss_uq_ = reg.counter("na.cache_miss_uq", r);
+  c_miss_hw_ = reg.counter("na.cache_miss_hw", r);
+  g_uq_depth_ = reg.gauge("na.uq_depth", r);
+  g_pool_live_ = reg.gauge("na.pool_live", r);
+  h_match_probes_ = reg.histogram("na.match_probes", r);
+  h_index_list_len_ = reg.histogram("na.index_list_len", r);
+}
 
 // --- Origin side --------------------------------------------------------------
 
@@ -267,6 +284,8 @@ NotifyRequest NaEngine::notify_init(rma::Window& win, MatchSpec match,
   req.slot_->expected = expected;
   req.slot_->matched = 0;
   req.slot_->started = 0;
+  g_pool_live_.set(static_cast<std::int64_t>(pool_.stats().live),
+                   router_.nic().ctx().now());
   return req;
 }
 
@@ -280,6 +299,7 @@ void NaEngine::start(NotifyRequest& req) {
 void NaEngine::consume(RequestSlot& s, NaStatus& st,
                        const net::HwNotification& e) {
   ++s.matched;
+  c_matches_.inc();
   st.source = net::imm_source(e.imm);
   st.tag = static_cast<int>(net::imm_tag(e.imm));
   st.bytes = e.bytes;
@@ -301,10 +321,13 @@ bool NaEngine::pop_hw(UqEntry& out) {
   if (nic.pop_hw_batch({&n, 1}) == 0) return false;
   if (cache_) {
     // Hardware-queue access; tracked but not counted as matching overhead.
-    misses_.hw_cq += cache_->touch_span(n.queue_slot, 64);
+    const std::uint64_t m = cache_->touch_span(n.queue_slot, 64);
+    misses_.hw_cq += m;
+    c_miss_hw_.inc(m);
   }
   static_cast<net::HwNotification&>(out) = n;
   out.seq = next_seq_++;
+  c_hw_drained_.inc();
   nic.ctx().advance(params_.cq_poll);
   return true;
 }
@@ -317,10 +340,14 @@ std::size_t NaEngine::drain_hw(std::span<net::HwNotification> out) {
   net::Nic& nic = router_.nic();
   const std::size_t n = nic.pop_hw_batch(out);
   if (n == 0) return 0;
+  c_hw_drained_.inc(n);
   nic.ctx().advance(params_.cq_poll + (n - 1) * params_.cq_poll_batch);
   if (cache_) {
+    std::uint64_t m = 0;
     for (std::size_t i = 0; i < n; ++i)
-      misses_.hw_cq += cache_->touch_span(out[i].queue_slot, 64);
+      m += cache_->touch_span(out[i].queue_slot, 64);
+    misses_.hw_cq += m;
+    c_miss_hw_.inc(m);
   }
   return n;
 }
@@ -329,13 +356,21 @@ void NaEngine::test_linear(RequestSlot& s, NaStatus& st) {
   net::Nic& nic = router_.nic();
   // Second compulsory access: the UQ header (head pointer + first entries
   // share a cache line in the paper's layout; we model the header access).
-  if (cache_) misses_.uq += cache_->touch_span(&uq_, 8);
+  if (cache_) {
+    const std::uint64_t m = cache_->touch_span(&uq_, 8);
+    misses_.uq += m;
+    c_miss_uq_.inc(m);
+  }
 
   // 1) Scan the unexpected queue in arrival order.
   for (auto it = uq_.begin(); it != uq_.end() && s.matched < s.expected;) {
     nic.ctx().advance(params_.uq_scan);
-    if (cache_ && it != uq_.begin())
-      misses_.uq += cache_->touch_object(&*it);
+    ++pass_probes_;
+    if (cache_ && it != uq_.begin()) {
+      const std::uint64_t m = cache_->touch_object(&*it);
+      misses_.uq += m;
+      c_miss_uq_.inc(m);
+    }
     if (matches(s, it->imm, it->window)) {
       consume(s, st, *it);
       it = uq_.erase(it);
@@ -347,10 +382,12 @@ void NaEngine::test_linear(RequestSlot& s, NaStatus& st) {
   // 2) Poll the hardware queues; non-matching notifications go to the UQ.
   UqEntry e;
   while (s.matched < s.expected && pop_hw(e)) {
+    ++pass_probes_;
     if (matches(s, e.imm, e.window)) {
       consume(s, st, e);
     } else {
       uq_.push_back(e);
+      c_uq_inserts_.inc();
     }
   }
 }
@@ -358,7 +395,11 @@ void NaEngine::test_linear(RequestSlot& s, NaStatus& st) {
 void NaEngine::test_indexed(RequestSlot& s, NaStatus& st) {
   net::Nic& nic = router_.nic();
   // Second compulsory access: the UQ-index header (bucket array head).
-  if (cache_) misses_.uq += cache_->touch_span(&uq_index_, 8);
+  if (cache_) {
+    const std::uint64_t m = cache_->touch_span(&uq_index_, 8);
+    misses_.uq += m;
+    c_miss_uq_.inc(m);
+  }
 
   // 1) Consume from the indexed UQ: one hash probe finds the oldest
   //    matching notification regardless of queue depth.
@@ -367,8 +408,14 @@ void NaEngine::test_indexed(RequestSlot& s, NaStatus& st) {
     while (s.matched < s.expected) {
       UqEntry* e = uq_index_.find_oldest(
           s.window, static_cast<int>(s.source), s.tag);
+      ++pass_probes_;
+      h_index_list_len_.record(uq_index_.last_list_len());
       if (!e) break;
-      if (cache_) misses_.uq += cache_->touch_object(e);
+      if (cache_) {
+        const std::uint64_t m = cache_->touch_object(e);
+        misses_.uq += m;
+        c_miss_uq_.inc(m);
+      }
       const std::uint64_t seq = e->seq;
       consume(s, st, *e);
       uq_index_.erase(seq);
@@ -388,11 +435,13 @@ void NaEngine::test_indexed(RequestSlot& s, NaStatus& st) {
       UqEntry e;
       static_cast<net::HwNotification&>(e) = batch[i];
       e.seq = next_seq_++;
+      ++pass_probes_;
       if (s.matched < s.expected && matches(s, e.imm, e.window)) {
         consume(s, st, e);
       } else {
         nic.ctx().advance(params_.uq_index_insert);
         uq_index_.insert(std::move(e));
+        c_uq_inserts_.inc();
       }
     }
   }
@@ -414,13 +463,21 @@ bool NaEngine::test(NotifyRequest& req, NaStatus* status) {
   nic.ctx().drain();
 
   // First compulsory access: the request slot itself.
-  if (cache_) misses_.request += cache_->touch_object(&s);
+  if (cache_) {
+    const std::uint64_t m = cache_->touch_object(&s);
+    misses_.request += m;
+    c_miss_request_.inc(m);
+  }
 
+  c_tests_.inc();
+  pass_probes_ = 0;
   if (params_.matcher == Matcher::kLinear) {
     test_linear(s, req.status_);
   } else {
     test_indexed(s, req.status_);
   }
+  h_match_probes_.record(pass_probes_);
+  g_uq_depth_.set(static_cast<std::int64_t>(uq_size()), nic.ctx().now());
 
   if (s.matched >= s.expected) {
     nic.ctx().advance(params_.o_r);
@@ -474,6 +531,8 @@ void NaEngine::free(NotifyRequest& req) {
   pool_.release(req.slot_);
   req.slot_ = nullptr;
   req.engine_ = nullptr;
+  g_pool_live_.set(static_cast<std::int64_t>(pool_.stats().live),
+                   router_.nic().ctx().now());
 }
 
 bool NaEngine::iprobe_linear(const RequestSlot& probe_slot,
@@ -497,6 +556,7 @@ bool NaEngine::iprobe_linear(const RequestSlot& probe_slot,
   UqEntry e;
   while (pop_hw(e)) {
     uq_.push_back(e);
+    c_uq_inserts_.inc();
     if (matches(probe_slot, e.imm, e.window)) return report(e);
   }
   return false;
@@ -541,6 +601,7 @@ bool NaEngine::iprobe_indexed(const RequestSlot& probe_slot,
       e.seq = next_seq_++;
       nic.ctx().advance(params_.uq_index_insert);
       uq_index_.insert(std::move(e));
+      c_uq_inserts_.inc();
     }
     if (found) return report(hit);
   }

@@ -43,6 +43,7 @@
 #include "cachesim/cache.hpp"
 #include "core/na_params.hpp"
 #include "net/router.hpp"
+#include "obs/metrics.hpp"
 #include "rma/window.hpp"
 
 namespace narma::na {
@@ -119,6 +120,10 @@ class UqIndex {
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 
+  /// Length (including lazily prunable stale refs) of the candidate list
+  /// consulted by the most recent find_oldest(); observability input.
+  std::size_t last_list_len() const { return last_list_len_; }
+
  private:
   struct Key {
     std::uint64_t window = 0;
@@ -145,6 +150,7 @@ class UqIndex {
   ListMap by_src_;
   ListMap by_win_;
   std::size_t stale_ = 0;  // references to already-consumed entries
+  std::size_t last_list_len_ = 0;
 };
 
 class NaEngine;
@@ -303,6 +309,14 @@ class NaEngine {
   std::size_t uq_size() const { return uq_.size() + uq_index_.size(); }
   const SlotPool::Stats& pool_stats() const { return pool_.stats(); }
 
+  /// Registers this engine's metric families (na.*) with the World's
+  /// registry. Called from the Rank constructor; a disengaged engine (no
+  /// registry) keeps every hook a single-branch no-op. The legacy
+  /// SlotPool::Stats / CacheMisses structs stay as cheap accessors; the
+  /// registry absorbs them as na.pool_live / na.cache_miss_* so one dump
+  /// carries everything.
+  void bind_metrics(obs::Registry& reg);
+
   struct CacheMisses {
     std::uint64_t request = 0;  // request-slot lines
     std::uint64_t uq = 0;       // unexpected-queue lines
@@ -355,6 +369,20 @@ class NaEngine {
   SlotPool pool_;
   cachesim::Cache* cache_ = nullptr;
   CacheMisses misses_;
+
+  // Observability (na.* families); disengaged handles are no-ops.
+  obs::Counter c_tests_;        // test()/iprobe() matching passes
+  obs::Counter c_matches_;      // notifications consumed by requests
+  obs::Counter c_uq_inserts_;   // notifications parked unexpectedly
+  obs::Counter c_hw_drained_;   // entries popped off the hardware queues
+  obs::Counter c_miss_request_; // cache-model misses, request-slot lines
+  obs::Counter c_miss_uq_;      // cache-model misses, UQ lines
+  obs::Counter c_miss_hw_;      // cache-model misses, hardware-queue lines
+  obs::Gauge g_uq_depth_;       // parked notifications (both engines)
+  obs::Gauge g_pool_live_;      // slab-pool occupancy (live request slots)
+  obs::Histogram h_match_probes_;    // probes per matching pass
+  obs::Histogram h_index_list_len_;  // candidate-list length per lookup
+  std::uint64_t pass_probes_ = 0;    // probes in the current matching pass
 };
 
 }  // namespace narma::na

@@ -5,7 +5,11 @@ namespace narma {
 World::World(int nranks, WorldParams params)
     : params_(params),
       engine_(std::make_unique<sim::Engine>(nranks)),
-      fabric_(std::make_unique<net::Fabric>(*engine_, params.fabric)) {}
+      metrics_(params.enable_metrics
+                   ? std::make_unique<obs::Registry>(nranks)
+                   : nullptr),
+      fabric_(std::make_unique<net::Fabric>(*engine_, params.fabric,
+                                            metrics_.get())) {}
 
 World::~World() = default;
 
@@ -14,6 +18,24 @@ void World::run(const std::function<void(Rank&)>& rank_main) {
     Rank rank(*this, ctx);
     rank_main(rank);
   });
+  if (!metrics_) return;
+  // Engine-level accounting, filled in after the run: per-rank busy/blocked
+  // split of the final virtual time, plus the global event count. Gauges are
+  // stamped at each rank's finish time so the values are well-ordered in the
+  // counter tracks.
+  metrics_->counter("sim.events_executed", 0).inc(engine_->events_executed());
+  for (int r = 0; r < engine_->nranks(); ++r) {
+    sim::RankCtx& ctx = engine_->rank(r);
+    const Time total = ctx.now();
+    const Time blocked = ctx.blocked_time();
+    metrics_->gauge("sim.total_ns", r)
+        .set(static_cast<std::int64_t>(total / kPicosPerNano), total);
+    metrics_->gauge("sim.blocked_ns", r)
+        .set(static_cast<std::int64_t>(blocked / kPicosPerNano), total);
+    metrics_->gauge("sim.busy_ns", r)
+        .set(static_cast<std::int64_t>((total - blocked) / kPicosPerNano),
+             total);
+  }
 }
 
 Rank::Rank(World& world, sim::RankCtx& ctx)
@@ -23,6 +45,12 @@ Rank::Rank(World& world, sim::RankCtx& ctx)
       router_(nic_),
       ep_(router_, world.params().mp),
       winmgr_(router_, ep_, world.params().rma),
-      na_(router_, world.params().na) {}
+      na_(router_, world.params().na) {
+  if (obs::Registry* reg = world.metrics()) {
+    ep_.bind_metrics(*reg);
+    winmgr_.bind_metrics(*reg);
+    na_.bind_metrics(*reg);
+  }
+}
 
 }  // namespace narma

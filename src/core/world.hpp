@@ -26,6 +26,7 @@
 #include "mp/collectives.hpp"
 #include "mp/endpoint.hpp"
 #include "net/fabric.hpp"
+#include "obs/metrics.hpp"
 #include "rma/window.hpp"
 #include "sim/engine.hpp"
 
@@ -36,6 +37,11 @@ struct WorldParams {
   mp::MpParams mp;
   rma::RmaParams rma;
   na::NaParams na;
+
+  /// Metrics registry (src/obs). On by default: every hook is one branch
+  /// plus a plain add on the rank's own thread, and metric reads never
+  /// advance virtual time, so timing results are identical either way.
+  bool enable_metrics = true;
 
   /// Convenience preset: all ranks on one node (shared-memory transport),
   /// as in the paper's intra-node experiments (Fig. 3c).
@@ -63,11 +69,13 @@ class World {
   const WorldParams& params() const { return params_; }
 
   /// Turns on virtual-time tracing (call before run()). The trace can be
-  /// inspected with tracer() or written with dump_trace().
+  /// inspected with tracer() or written with dump_trace(). With metrics
+  /// enabled, gauge changes also appear as Perfetto counter tracks.
   void enable_tracing() {
     if (!tracer_)
       tracer_ = std::make_unique<sim::Tracer>(engine_->nranks());
     fabric_->set_tracer(tracer_.get());
+    if (metrics_) metrics_->set_tracer(tracer_.get());
   }
   sim::Tracer* tracer() { return tracer_.get(); }
   /// Writes the Chrome trace-event JSON (chrome://tracing / Perfetto).
@@ -75,9 +83,18 @@ class World {
     return tracer_ && tracer_->write_json(path);
   }
 
+  /// The metrics registry; nullptr when WorldParams::enable_metrics is off.
+  obs::Registry* metrics() { return metrics_.get(); }
+  /// Writes the narma.metrics.v1 JSON dump (see DESIGN.md Sec. 7); false
+  /// when metrics are disabled or the file cannot be written.
+  bool dump_metrics(const std::string& path) const {
+    return metrics_ && metrics_->write_json(path);
+  }
+
  private:
   WorldParams params_;
   std::unique_ptr<sim::Engine> engine_;
+  std::unique_ptr<obs::Registry> metrics_;  // before fabric_: Nics bind here
   std::unique_ptr<net::Fabric> fabric_;
   std::unique_ptr<sim::Tracer> tracer_;
 };

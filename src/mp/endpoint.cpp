@@ -25,6 +25,21 @@ Endpoint::Endpoint(net::MsgRouter& router, MpParams params)
   }
 }
 
+void Endpoint::bind_metrics(obs::Registry& reg) {
+  const int r = rank();
+  c_sends_eager_ = reg.counter("mp.sends_eager", r);
+  c_sends_rdzv_ = reg.counter("mp.sends_rdzv", r);
+  c_recvs_ = reg.counter("mp.recvs", r);
+  g_unexpected_depth_ = reg.gauge("mp.unexpected_depth", r);
+  g_posted_depth_ = reg.gauge("mp.posted_depth", r);
+}
+
+void Endpoint::sample_queue_depths() {
+  const Time now = router_.nic().ctx().now();
+  g_unexpected_depth_.set(static_cast<std::int64_t>(unexpected_.size()), now);
+  g_posted_depth_.set(static_cast<std::int64_t>(posted_.size()), now);
+}
+
 // --- Send path ---------------------------------------------------------------
 
 Request Endpoint::isend(const void* buf, std::size_t bytes, int dst, int tag) {
@@ -51,13 +66,16 @@ Request Endpoint::isend(const void* buf, std::size_t bytes, int dst, int tag) {
     u.time = ctx.now();
     unexpected_.push_back(std::move(u));
     match_newest_unexpected();
+    sample_queue_depths();
     req->kind = detail::ReqKind::kSendEager;
     req->done = true;
+    c_sends_eager_.inc();
     return req;
   }
 
   if (bytes <= params_.eager_threshold) {
     req->kind = detail::ReqKind::kSendEager;
+    c_sends_eager_.inc();
     // Sender-side staging copy into NIC buffers; after it, the user buffer
     // is reusable and the send is locally complete (buffered semantics).
     ctx.advance(copy_cost(params_, bytes));
@@ -71,6 +89,7 @@ Request Endpoint::isend(const void* buf, std::size_t bytes, int dst, int tag) {
     req->done = true;
   } else {
     req->kind = detail::ReqKind::kSendRdzv;
+    c_sends_rdzv_.inc();
     req->send_op_id = next_op_id_++;
     rdzv_sends_[req->send_op_id] = req;
     net::NetMsg m;
@@ -96,6 +115,7 @@ Request Endpoint::irecv(void* buf, std::size_t capacity, int src, int tag) {
   req->tag = tag;
   req->bytes = capacity;
   req->rbuf = buf;
+  c_recvs_.inc();
 
   // First look at already-arrived unexpected messages (oldest first).
   router_.progress();
@@ -108,10 +128,12 @@ Request Endpoint::irecv(void* buf, std::size_t capacity, int src, int tag) {
       deliver_eager(*req, it->src, it->tag, std::move(it->payload), it->time);
     }
     unexpected_.erase(it);
+    sample_queue_depths();
     return req;
   }
 
   posted_.push_back(req);
+  sample_queue_depths();
   return req;
 }
 
@@ -168,6 +190,7 @@ void Endpoint::match_newest_unexpected() {
       deliver_eager(*req, u.src, u.tag, std::move(u.payload), u.time);
     }
     unexpected_.pop_back();
+    sample_queue_depths();
     return;
   }
 }
@@ -183,6 +206,7 @@ void Endpoint::handle_eager(net::NetMsg&& m) {
     router_.nic().ctx().advance(params_.o_match);
     deliver_eager(*r, m.src, tag, std::move(m.payload), m.time);
     posted_.erase(it);
+    sample_queue_depths();
     return;
   }
   detail::Unexpected u;
@@ -192,6 +216,7 @@ void Endpoint::handle_eager(net::NetMsg&& m) {
   u.payload = std::move(m.payload);
   u.time = m.time;
   unexpected_.push_back(std::move(u));
+  sample_queue_depths();
 }
 
 void Endpoint::handle_rts(net::NetMsg&& m) {
@@ -203,6 +228,7 @@ void Endpoint::handle_rts(net::NetMsg&& m) {
     posted_.erase(it);
     router_.nic().ctx().advance(params_.o_match);
     answer_rts(req, m.src, tag, m.h1, m.h2);
+    sample_queue_depths();
     return;
   }
   detail::Unexpected u;
@@ -213,6 +239,7 @@ void Endpoint::handle_rts(net::NetMsg&& m) {
   u.send_op_id = m.h2;
   u.time = m.time;
   unexpected_.push_back(std::move(u));
+  sample_queue_depths();
 }
 
 void Endpoint::handle_cts(net::NetMsg&& m) {

@@ -26,6 +26,7 @@
 
 #include "mp/params.hpp"
 #include "net/router.hpp"
+#include "obs/metrics.hpp"
 
 namespace narma::mp {
 
@@ -111,6 +112,10 @@ class Endpoint {
   std::size_t unexpected_count() const { return unexpected_.size(); }
   std::size_t posted_count() const { return posted_.size(); }
 
+  /// Registers this endpoint's metric families (mp.*) with the World's
+  /// registry; without it every hook stays a disengaged no-op.
+  void bind_metrics(obs::Registry& reg);
+
  private:
   void handle_eager(net::NetMsg&& m);
   void handle_rts(net::NetMsg&& m);
@@ -140,6 +145,9 @@ class Endpoint {
     return want_tag == tag;
   }
 
+  /// Re-samples mp.unexpected_depth / mp.posted_depth after queue mutations.
+  void sample_queue_depths();
+
   net::MsgRouter& router_;
   MpParams params_;
   std::uint64_t next_op_id_ = 1;
@@ -147,6 +155,13 @@ class Endpoint {
   std::deque<Request> posted_;                    // posted receives, in order
   std::deque<detail::Unexpected> unexpected_;     // arrival order
   std::unordered_map<std::uint64_t, Request> rdzv_sends_;  // by send_op_id
+
+  // Observability (mp.* families); disengaged handles are no-ops.
+  obs::Counter c_sends_eager_;
+  obs::Counter c_sends_rdzv_;
+  obs::Counter c_recvs_;
+  obs::Gauge g_unexpected_depth_;
+  obs::Gauge g_posted_depth_;
 };
 
 }  // namespace narma::mp

@@ -4,11 +4,28 @@
 
 namespace narma::net {
 
-Fabric::Fabric(sim::Engine& engine, FabricParams params)
-    : engine_(engine), params_(params) {
+Fabric::Fabric(sim::Engine& engine, FabricParams params,
+               obs::Registry* metrics)
+    : engine_(engine), params_(params), metrics_(metrics) {
   NARMA_CHECK(params_.ranks_per_node >= 1);
   const auto n = static_cast<std::size_t>(engine_.nranks());
   channels_.resize(2 * n * n);
+  if (metrics_) {
+    // Indexed by Transport (kShm = 0, kFma = 1, kBte = 2).
+    static const char* kOpNames[3] = {"net.shm_ops", "net.fma_ops",
+                                      "net.bte_ops"};
+    static const char* kByteNames[3] = {"net.shm_bytes", "net.fma_bytes",
+                                        "net.bte_bytes"};
+    rank_metrics_.resize(n);
+    for (int r = 0; r < engine_.nranks(); ++r) {
+      RankNetMetrics& m = rank_metrics_[static_cast<std::size_t>(r)];
+      for (int t = 0; t < 3; ++t) {
+        m.ops[t] = metrics_->counter(kOpNames[t], r);
+        m.bytes[t] = metrics_->counter(kByteNames[t], r);
+      }
+      m.queue_delay = metrics_->histogram("net.chan_queue_ns", r);
+    }
+  }
   nics_.reserve(n);
   for (int r = 0; r < engine_.nranks(); ++r)
     nics_.push_back(std::make_unique<Nic>(*this, engine_.rank(r)));
@@ -34,6 +51,14 @@ Time Fabric::schedule_transfer(int src, int dst, Time t_issue,
   c.next_free = inject_end;
   const Time deliver = inject_end + tt.L;
   counters_.bytes_on_wire += bytes;
+  if (!rank_metrics_.empty()) {
+    RankNetMetrics& m = rank_metrics_[static_cast<std::size_t>(src)];
+    const int t = static_cast<int>(transport);
+    m.ops[t].inc();
+    m.bytes[t].inc(bytes);
+    // Queueing delay: how long the injection waited for the channel.
+    m.queue_delay.record_time(start - t_issue);
+  }
   engine_.post(deliver,
                [fn = std::move(on_deliver), deliver] { fn(deliver); });
   return deliver;

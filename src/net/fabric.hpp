@@ -24,6 +24,7 @@
 
 #include "net/params.hpp"
 #include "net/types.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
 
@@ -35,7 +36,11 @@ class Fabric {
  public:
   enum class ChannelClass { kData = 0, kResp = 1 };
 
-  Fabric(sim::Engine& engine, FabricParams params);
+  /// `metrics` (optional) receives per-rank transfer counters and queueing
+  /// delay histograms; the per-rank NICs also report their queue depths
+  /// into it. Must outlive the fabric.
+  Fabric(sim::Engine& engine, FabricParams params,
+         obs::Registry* metrics = nullptr);
   ~Fabric();
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
@@ -73,9 +78,19 @@ class Fabric {
   sim::Tracer* tracer() const { return tracer_; }
   void set_tracer(sim::Tracer* t) { tracer_ = t; }
 
+  /// Optional metrics registry (attached at construction).
+  obs::Registry* metrics() const { return metrics_; }
+
  private:
   struct Channel {
     Time next_free = 0;
+  };
+
+  /// Per-source-rank transfer metrics, indexed by Transport.
+  struct RankNetMetrics {
+    obs::Counter ops[3];    // net.{fma,bte,shm}_ops
+    obs::Counter bytes[3];  // net.{fma,bte,shm}_bytes
+    obs::Histogram queue_delay;  // net.chan_queue_ns (injection serialization)
   };
 
   Channel& chan(int src, int dst, ChannelClass cls) {
@@ -92,6 +107,8 @@ class Fabric {
   std::vector<std::unique_ptr<Nic>> nics_;
   FabricCounters counters_;
   sim::Tracer* tracer_ = nullptr;
+  obs::Registry* metrics_ = nullptr;
+  std::vector<RankNetMetrics> rank_metrics_;  // one per rank; empty if off
 };
 
 }  // namespace narma::net

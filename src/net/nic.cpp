@@ -9,7 +9,22 @@ Nic::Nic(Fabric& fabric, sim::RankCtx& ctx)
       ctx_(ctx),
       dest_cq_(fabric.params().dest_cq_capacity),
       shm_ring_(fabric.params().shm_ring_capacity),
-      mailbox_(fabric.params().mailbox_capacity) {}
+      mailbox_(fabric.params().mailbox_capacity) {
+  if (obs::Registry* m = fabric_.metrics()) {
+    const int r = ctx_.id();
+    g_dest_cq_depth_ = m->gauge("net.dest_cq_depth", r);
+    g_shm_ring_depth_ = m->gauge("net.shm_ring_depth", r);
+    g_mailbox_depth_ = m->gauge("net.mailbox_depth", r);
+    g_src_pending_ = m->gauge("net.src_pending", r);
+  }
+}
+
+void Nic::sample_queue_gauges() {
+  const Time now = ctx_.now();
+  g_dest_cq_depth_.set(static_cast<std::int64_t>(dest_cq_.size()), now);
+  g_shm_ring_depth_.set(static_cast<std::int64_t>(shm_ring_.size()), now);
+  g_mailbox_depth_.set(static_cast<std::int64_t>(mailbox_.size()), now);
+}
 
 // --- Registered memory -----------------------------------------------------
 
@@ -80,6 +95,11 @@ std::size_t Nic::pop_hw_batch(std::span<HwNotification> out) {
       if (s.inline_len) o.inline_data = s.inline_data;
     }
   }
+  if (n) {
+    const Time now = ctx_.now();
+    g_dest_cq_depth_.set(static_cast<std::int64_t>(dest_cq_.size()), now);
+    g_shm_ring_depth_.set(static_cast<std::int64_t>(shm_ring_.size()), now);
+  }
   return n;
 }
 
@@ -92,6 +112,7 @@ void Nic::push_cqe(const Cqe& cqe) {
       << "); like uGNI, CQ overflow is fatal — size the queue or consume "
          "notifications faster";
   ++fabric_.counters().notifications;
+  g_dest_cq_depth_.set(static_cast<std::int64_t>(dest_cq_.size()), cqe.time);
   progress_.notify(fabric_.engine(), cqe.time);
 }
 
@@ -99,6 +120,7 @@ void Nic::push_shm(const ShmNotification& n) {
   NARMA_CHECK(shm_ring_.try_push(n))
       << "shared-memory notification ring overflow at rank " << rank();
   ++fabric_.counters().notifications;
+  g_shm_ring_depth_.set(static_cast<std::int64_t>(shm_ring_.size()), n.time);
   progress_.notify(fabric_.engine(), n.time);
 }
 
@@ -107,6 +129,7 @@ void Nic::push_msg(NetMsg msg) {
   const Time t = msg.time;
   NARMA_CHECK(mailbox_.try_push(std::move(msg)))
       << "mailbox overflow at rank " << rank();
+  g_mailbox_depth_.set(static_cast<std::int64_t>(mailbox_.size()), t);
   progress_.notify(fabric_.engine(), t);
 }
 
@@ -117,6 +140,7 @@ void Nic::post_ack(int origin, Time deliver_time, Transport transport,
   Nic* origin_nic = &fabric_.nic(origin);
   fabric_.engine().post(ack, [origin_nic, pending, ack] {
     if (pending) ++pending->completed;
+    origin_nic->g_src_pending_.add(-1, ack);
     origin_nic->progress_.notify(origin_nic->fabric_.engine(), ack);
   });
 }
@@ -135,6 +159,7 @@ void Nic::put_at(Time issue, int target, MemKey key, std::uint64_t offset,
   Nic* tgt = &fabric_.nic(target);
   if (pending) ++pending->issued;
   ++fabric_.counters().data_transfers;
+  g_src_pending_.add(1, issue);
 
   const int src_rank = rank();
   const Time deliver = fabric_.schedule_transfer(
@@ -171,6 +196,7 @@ void Nic::put_iov(int target, MemKey key,
   Nic* tgt = &fabric_.nic(target);
   if (pending) ++pending->issued;
   ++fabric_.counters().data_transfers;
+  g_src_pending_.add(1, ctx_.now());
 
   const int src_rank = rank();
   // Segment list captured by value: the descriptors are consumed at issue,
@@ -207,6 +233,7 @@ void Nic::get(int target, MemKey key, std::uint64_t offset, void* dst,
   Nic* self = this;
   if (pending) ++pending->issued;
   ++fabric_.counters().data_transfers;
+  g_src_pending_.add(1, ctx_.now());
 
   const int origin = rank();
   // Request header travels to the target; the target NIC reads the region,
@@ -237,6 +264,7 @@ void Nic::get(int target, MemKey key, std::uint64_t offset, void* dst,
             [self, wire = std::move(wire), dst, bytes, pending](Time t_resp) {
               if (bytes > 0) std::memcpy(dst, wire->data(), bytes);
               if (pending) ++pending->completed;
+              self->g_src_pending_.add(-1, t_resp);
               self->progress_.notify(self->fabric_.engine(), t_resp);
             });
       });
@@ -250,6 +278,7 @@ void Nic::atomic(int target, MemKey key, std::uint64_t offset, AtomicOp op,
   Nic* self = this;
   if (pending) ++pending->issued;
   ++fabric_.counters().data_transfers;
+  g_src_pending_.add(1, ctx_.now());
 
   const int origin = rank();
   const Time exec_cost = fabric_.params().atomic_exec;
@@ -287,6 +316,7 @@ void Nic::atomic(int target, MemKey key, std::uint64_t offset, AtomicOp op,
             [self, result, old, pending](Time t_resp) {
               if (result) *result = old;
               if (pending) ++pending->completed;
+              self->g_src_pending_.add(-1, t_resp);
               self->progress_.notify(self->fabric_.engine(), t_resp);
             });
       });
@@ -324,6 +354,7 @@ void Nic::send_shm_notification(int target, ShmNotification n,
       << target << ")";
   Nic* tgt = &fabric_.nic(target);
   if (pending) ++pending->issued;
+  g_src_pending_.add(1, ctx_.now());
   // One cache line on the intra-node interconnect.
   const Time deliver = fabric_.schedule_transfer(
       rank(), target, ctx_.now(), 64, Transport::kShm,
@@ -338,6 +369,7 @@ void Nic::send_shm_notification(int target, ShmNotification n,
   Nic* self = this;
   fabric_.engine().post(deliver, [self, pending, deliver] {
     if (pending) ++pending->completed;
+    self->g_src_pending_.add(-1, deliver);
     self->progress_.notify(self->fabric_.engine(), deliver);
   });
 }

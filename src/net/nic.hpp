@@ -136,6 +136,11 @@ class Nic {
   RingBuffer<ShmNotification>& shm_ring() { return shm_ring_; }
   RingBuffer<NetMsg>& mailbox() { return mailbox_; }
 
+  /// Re-samples the queue-depth gauges at the rank's clock. Consumers that
+  /// pop from the queues directly (the mailbox router) call this after
+  /// draining so the high-water marks and counter tracks stay faithful.
+  void sample_queue_gauges();
+
   /// Drains up to out.size() hardware notifications, merging the destination
   /// CQ and the shm ring by arrival time (ties: CQ first) so consumers see
   /// global arrival order. Returns the number of entries written. Pure data
@@ -189,6 +194,12 @@ class Nic {
   RingBuffer<ShmNotification> shm_ring_;
   RingBuffer<NetMsg> mailbox_;
   std::function<bool(NetMsg&&)> delivery_hook_;
+  // Queue-depth gauges (destination side) and the source-side outstanding-
+  // operation gauge; disengaged no-op handles when metrics are off.
+  obs::Gauge g_dest_cq_depth_;
+  obs::Gauge g_shm_ring_depth_;
+  obs::Gauge g_mailbox_depth_;
+  obs::Gauge g_src_pending_;
 };
 
 }  // namespace narma::net

@@ -52,6 +52,7 @@ class MsgRouter {
   /// mailbox message to its handler.
   void progress() {
     nic_.ctx().drain();
+    const bool drained = !nic_.mailbox().empty();
     while (!nic_.mailbox().empty()) {
       NetMsg msg = nic_.mailbox().pop();
       auto it = handlers_.find(msg.kind);
@@ -60,6 +61,7 @@ class MsgRouter {
           << " at rank " << std::dec << nic_.rank();
       it->second(std::move(msg));
     }
+    if (drained) nic_.sample_queue_gauges();
   }
 
   /// Blocks until pred() holds, running progress() on every wakeup.

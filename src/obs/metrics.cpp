@@ -1,0 +1,209 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "sim/trace.hpp"
+
+namespace narma::obs {
+
+// -------------------------------------------------------------- HistData --
+
+void HistData::record(std::uint64_t v) {
+  const auto idx = static_cast<std::size_t>(std::bit_width(v));
+  ++buckets[idx];
+  ++count;
+  sum += v;
+  if (count == 1 || v < min) min = v;
+  if (v > max) max = v;
+}
+
+double HistData::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  double seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    seen += static_cast<double>(buckets[i]);
+    if (seen >= target) {
+      if (i == 0) return 0.0;
+      const double lo = std::exp2(static_cast<double>(i) - 1.0);
+      const double hi = std::exp2(static_cast<double>(i)) - 1.0;
+      return std::sqrt(lo * std::max(hi, 1.0));  // geometric midpoint
+    }
+  }
+  return static_cast<double>(max);
+}
+
+// ----------------------------------------------------------------- Gauge --
+
+void Gauge::set(std::int64_t v, Time at) {
+  if (!cell_) return;
+  const bool changed = v != cell_->level;
+  cell_->level = v;
+  if (v > cell_->high_water) cell_->high_water = v;
+  // Sampled on change: one counter-track point per distinct level.
+  if (changed && cell_->reg->tracer_) {
+    cell_->reg->tracer_->counter(
+        cell_->rank, "obs",
+        *cell_->name + " (rank " + std::to_string(cell_->rank) + ")", at,
+        static_cast<double>(v));
+  }
+}
+
+// -------------------------------------------------------------- Registry --
+
+Registry::Registry(int nranks) : nranks_(nranks) {
+  NARMA_CHECK(nranks >= 1) << "metrics registry needs at least one rank";
+}
+
+Registry::Family& Registry::family(const std::string& name, Kind kind) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    auto fam = std::make_unique<Family>();
+    fam->name = name;
+    fam->kind = kind;
+    fam->cells.resize(static_cast<std::size_t>(nranks_));
+    for (int r = 0; r < nranks_; ++r) {
+      auto& c = fam->cells[static_cast<std::size_t>(r)];
+      c.reg = this;
+      c.name = &fam->name;
+      c.rank = r;
+    }
+    it = families_.emplace(name, std::move(fam)).first;
+  }
+  NARMA_CHECK(it->second->kind == kind)
+      << "metric '" << name << "' re-registered with a different kind";
+  return *it->second;
+}
+
+const Registry::Family* Registry::find(const std::string& name) const {
+  auto it = families_.find(name);
+  return it == families_.end() ? nullptr : it->second.get();
+}
+
+const detail::Cell* Registry::cell_of(const std::string& name,
+                                      int rank) const {
+  const Family* fam = find(name);
+  if (!fam || rank < 0 || rank >= nranks_) return nullptr;
+  return &fam->cells[static_cast<std::size_t>(rank)];
+}
+
+Counter Registry::counter(const std::string& name, int rank) {
+  NARMA_CHECK(rank >= 0 && rank < nranks_) << "bad metric rank " << rank;
+  return Counter(
+      &family(name, Kind::kCounter).cells[static_cast<std::size_t>(rank)]);
+}
+
+Gauge Registry::gauge(const std::string& name, int rank) {
+  NARMA_CHECK(rank >= 0 && rank < nranks_) << "bad metric rank " << rank;
+  return Gauge(
+      &family(name, Kind::kGauge).cells[static_cast<std::size_t>(rank)]);
+}
+
+Histogram Registry::histogram(const std::string& name, int rank) {
+  NARMA_CHECK(rank >= 0 && rank < nranks_) << "bad metric rank " << rank;
+  return Histogram(
+      &family(name, Kind::kHistogram).cells[static_cast<std::size_t>(rank)]);
+}
+
+bool Registry::has(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(families_.size());
+  for (const auto& [name, fam] : families_) out.push_back(name);
+  return out;
+}
+
+std::uint64_t Registry::counter_value(const std::string& name,
+                                      int rank) const {
+  const detail::Cell* c = cell_of(name, rank);
+  return c ? c->count : 0;
+}
+
+std::int64_t Registry::gauge_value(const std::string& name, int rank) const {
+  const detail::Cell* c = cell_of(name, rank);
+  return c ? c->level : 0;
+}
+
+std::int64_t Registry::gauge_high_water(const std::string& name,
+                                        int rank) const {
+  const detail::Cell* c = cell_of(name, rank);
+  return c ? c->high_water : 0;
+}
+
+const HistData* Registry::hist_data(const std::string& name, int rank) const {
+  const detail::Cell* c = cell_of(name, rank);
+  return c ? &c->hist : nullptr;
+}
+
+std::string Registry::to_json() const {
+  std::ostringstream os;
+  os << "{\"schema\":\"narma.metrics.v1\",\"nranks\":" << nranks_
+     << ",\"metrics\":[";
+  bool first_fam = true;
+  for (const auto& [name, fam] : families_) {
+    if (!first_fam) os << ',';
+    first_fam = false;
+    const char* kind = fam->kind == Kind::kCounter   ? "counter"
+                       : fam->kind == Kind::kGauge   ? "gauge"
+                                                     : "histogram";
+    os << "{\"name\":\"" << name << "\",\"kind\":\"" << kind
+       << "\",\"per_rank\":[";
+    for (int r = 0; r < nranks_; ++r) {
+      if (r) os << ',';
+      const detail::Cell& c = fam->cells[static_cast<std::size_t>(r)];
+      os << "{\"rank\":" << r;
+      switch (fam->kind) {
+        case Kind::kCounter:
+          os << ",\"value\":" << c.count;
+          break;
+        case Kind::kGauge:
+          os << ",\"value\":" << c.level
+             << ",\"high_water\":" << c.high_water;
+          break;
+        case Kind::kHistogram: {
+          const HistData& h = c.hist;
+          os << ",\"count\":" << h.count << ",\"sum\":" << h.sum
+             << ",\"min\":" << h.min << ",\"max\":" << h.max
+             << ",\"buckets\":[";
+          bool first_b = true;
+          for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+            if (h.buckets[i] == 0) continue;
+            if (!first_b) os << ',';
+            first_b = false;
+            const std::uint64_t lo = i == 0 ? 0 : (1ull << (i - 1));
+            const std::uint64_t hi = i == 0 ? 0 : (1ull << i) - 1;
+            os << "{\"lo\":" << lo << ",\"hi\":" << hi
+               << ",\"count\":" << h.buckets[i] << '}';
+          }
+          os << ']';
+          break;
+        }
+      }
+      os << '}';
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool Registry::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string doc = to_json();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace narma::obs

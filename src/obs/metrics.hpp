@@ -1,0 +1,188 @@
+// Unified runtime metrics: the observability substrate every layer reports
+// into (ROADMAP: perf PRs measure against this).
+//
+// A Registry is a per-World collection of named metric *families*, each with
+// one cell per rank:
+//
+//  * Counter   — monotone event/byte counts (FMA ops, eager sends, ...).
+//  * Gauge     — instantaneous levels with high-water tracking (CQ depth,
+//                unexpected-queue depth, slab-pool occupancy, ...).
+//  * Histogram — log2-bucketed samples (queueing delays, flush waits, match
+//                probes per test, ...).
+//
+// Handles are cheap value types the instrumented layers cache at
+// construction: a disengaged handle (metrics off) makes every hook a single
+// branch, an engaged one a branch plus a plain increment. Plain (non-atomic)
+// arithmetic is correct here because the simulation engine runs at most one
+// thread at any instant; the semaphore handoffs give the needed ordering.
+//
+// When a sim::Tracer is attached, every gauge change is mirrored as a Chrome
+// trace-event "C" (counter) sample, so Perfetto shows CQ/UQ depth tracks
+// aligned with the span timeline. Counters and histograms are export-only.
+//
+// Registry::to_json() emits the stable schema consumed by `narma_cli report`
+// (see DESIGN.md §7):
+//
+//   {"schema":"narma.metrics.v1","nranks":N,"metrics":[
+//     {"name":...,"kind":"counter","per_rank":[{"rank":0,"value":V},...]},
+//     {"name":...,"kind":"gauge","per_rank":[{"rank":0,"value":V,
+//      "high_water":H},...]},
+//     {"name":...,"kind":"histogram","per_rank":[{"rank":0,"count":N,
+//      "sum":S,"min":m,"max":M,"buckets":[{"lo":..,"hi":..,"count":..}]}]}]}
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace narma::sim {
+class Tracer;
+}
+
+namespace narma::obs {
+
+enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// Log2-bucketed histogram state. Bucket 0 counts zero-valued samples;
+/// bucket i >= 1 counts samples in [2^(i-1), 2^i - 1] (i = bit_width(v)).
+struct HistData {
+  std::array<std::uint64_t, 64> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+
+  void record(std::uint64_t v);
+  /// Quantile estimate from the buckets (geometric bucket midpoint).
+  double quantile(double q) const;
+};
+
+class Registry;
+
+namespace detail {
+
+/// Per-(family, rank) storage. Stable address for the life of the Registry.
+struct Cell {
+  Registry* reg = nullptr;
+  const std::string* name = nullptr;  // owned by the family
+  int rank = 0;
+  std::uint64_t count = 0;    // counter
+  std::int64_t level = 0;     // gauge
+  std::int64_t high_water = 0;
+  HistData hist;              // histogram
+};
+
+}  // namespace detail
+
+/// Monotone event counter handle. Default-constructed handles are no-ops.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t n = 1) {
+    if (cell_) cell_->count += n;
+  }
+  std::uint64_t value() const { return cell_ ? cell_->count : 0; }
+  explicit operator bool() const { return cell_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Counter(detail::Cell* c) : cell_(c) {}
+  detail::Cell* cell_ = nullptr;
+};
+
+/// Level gauge handle with high-water tracking. `at` is the virtual time of
+/// the change (used for the tracer counter-track sample).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(std::int64_t v, Time at);
+  void add(std::int64_t d, Time at) {
+    if (cell_) set(cell_->level + d, at);
+  }
+  std::int64_t value() const { return cell_ ? cell_->level : 0; }
+  std::int64_t high_water() const { return cell_ ? cell_->high_water : 0; }
+  explicit operator bool() const { return cell_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(detail::Cell* c) : cell_(c) {}
+  detail::Cell* cell_ = nullptr;
+};
+
+/// Log2-bucketed histogram handle.
+class Histogram {
+ public:
+  Histogram() = default;
+  void record(std::uint64_t v) {
+    if (cell_) cell_->hist.record(v);
+  }
+  void record_time(Time dt) { record(static_cast<std::uint64_t>(to_ns(dt))); }
+  const HistData* data() const { return cell_ ? &cell_->hist : nullptr; }
+  explicit operator bool() const { return cell_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Histogram(detail::Cell* c) : cell_(c) {}
+  detail::Cell* cell_ = nullptr;
+};
+
+/// Per-World metric registry: one cell per (family, rank).
+class Registry {
+ public:
+  explicit Registry(int nranks);
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  int nranks() const { return nranks_; }
+
+  /// Handle accessors create the family on first use; the kind of an
+  /// existing family must match. Handles stay valid for the Registry's life.
+  Counter counter(const std::string& name, int rank);
+  Gauge gauge(const std::string& name, int rank);
+  Histogram histogram(const std::string& name, int rank);
+
+  /// Mirrors gauge changes into `t` as Chrome "C" counter events (one track
+  /// per (metric, rank), sampled on change). nullptr detaches.
+  void set_tracer(sim::Tracer* t) { tracer_ = t; }
+  sim::Tracer* tracer() const { return tracer_; }
+
+  // --- Introspection (tests, exporters) ------------------------------------
+
+  bool has(const std::string& name) const;
+  std::vector<std::string> names() const;
+  std::uint64_t counter_value(const std::string& name, int rank) const;
+  std::int64_t gauge_value(const std::string& name, int rank) const;
+  std::int64_t gauge_high_water(const std::string& name, int rank) const;
+  const HistData* hist_data(const std::string& name, int rank) const;
+
+  /// Renders the stable narma.metrics.v1 JSON document (families in
+  /// lexicographic name order, ranks ascending).
+  std::string to_json() const;
+  /// Writes to_json() to `path`; returns false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+ private:
+  friend class Gauge;
+
+  struct Family {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    std::vector<detail::Cell> cells;  // one per rank; sized once, never grows
+  };
+
+  Family& family(const std::string& name, Kind kind);
+  const Family* find(const std::string& name) const;
+  const detail::Cell* cell_of(const std::string& name, int rank) const;
+
+  int nranks_;
+  // Sorted map: stable pointer per family and deterministic JSON order.
+  std::map<std::string, std::unique_ptr<Family>> families_;
+  sim::Tracer* tracer_ = nullptr;
+};
+
+}  // namespace narma::obs

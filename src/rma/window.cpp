@@ -29,6 +29,17 @@ WinManager::~WinManager() {
   router_.unregister_kind(kPscwKind);
 }
 
+void WinManager::bind_metrics(obs::Registry& reg) {
+  const int r = ep_.rank();
+  c_puts_ = reg.counter("rma.puts", r);
+  c_gets_ = reg.counter("rma.gets", r);
+  c_atomics_ = reg.counter("rma.atomics", r);
+  c_flushes_ = reg.counter("rma.flushes", r);
+  c_fences_ = reg.counter("rma.fences", r);
+  c_pscw_syncs_ = reg.counter("rma.pscw_syncs", r);
+  h_flush_wait_ns_ = reg.histogram("rma.flush_wait_ns", r);
+}
+
 void WinManager::on_pscw(net::NetMsg&& m) {
   auto it = windows_.find(m.h0);
   NARMA_CHECK(it != windows_.end())
@@ -109,6 +120,7 @@ Window::~Window() {
 void Window::put(const void* src, std::size_t bytes, int target,
                  std::uint64_t target_disp) {
   router_.nic().ctx().advance(mgr_.params().o_put);
+  mgr_.c_puts_.inc();
   nic().put(target, remote_key(target), byte_offset(target_disp), src, bytes,
             {}, &pending(target));
 }
@@ -118,6 +130,7 @@ void Window::put_strided(const void* src, std::size_t block_bytes,
                          int target, std::uint64_t target_disp,
                          std::uint64_t target_stride) {
   router_.nic().ctx().advance(mgr_.params().o_put);
+  mgr_.c_puts_.inc();
   std::vector<net::Nic::IoSegment> segs;
   segs.reserve(nblocks);
   const auto* base = static_cast<const std::byte*>(src);
@@ -131,6 +144,7 @@ void Window::put_strided(const void* src, std::size_t block_bytes,
 void Window::get(void* dst, std::size_t bytes, int target,
                  std::uint64_t target_disp) {
   router_.nic().ctx().advance(mgr_.params().o_put);
+  mgr_.c_gets_.inc();
   nic().get(target, remote_key(target), byte_offset(target_disp), dst, bytes,
             {}, &pending(target));
 }
@@ -138,6 +152,7 @@ void Window::get(void* dst, std::size_t bytes, int target,
 void Window::fetch_add_i64(int target, std::uint64_t target_disp,
                            std::int64_t v, std::int64_t* result) {
   router_.nic().ctx().advance(mgr_.params().o_atomic);
+  mgr_.c_atomics_.inc();
   nic().atomic(target, remote_key(target), byte_offset(target_disp),
                net::Nic::AtomicOp::kAddI64, v, 0, result, {},
                &pending(target));
@@ -146,6 +161,7 @@ void Window::fetch_add_i64(int target, std::uint64_t target_disp,
 void Window::fetch_add_f64(int target, std::uint64_t target_disp, double v,
                            double* result) {
   router_.nic().ctx().advance(mgr_.params().o_atomic);
+  mgr_.c_atomics_.inc();
   // The NIC's atomic unit is 8 bytes; reinterpret through the result slot.
   nic().atomic(target, remote_key(target), byte_offset(target_disp),
                net::Nic::AtomicOp::kAddF64, std::bit_cast<std::int64_t>(v), 0,
@@ -156,6 +172,7 @@ void Window::compare_swap_i64(int target, std::uint64_t target_disp,
                               std::int64_t compare, std::int64_t desired,
                               std::int64_t* result) {
   router_.nic().ctx().advance(mgr_.params().o_atomic);
+  mgr_.c_atomics_.inc();
   nic().atomic(target, remote_key(target), byte_offset(target_disp),
                net::Nic::AtomicOp::kCasI64, desired, compare, result, {},
                &pending(target));
@@ -167,11 +184,14 @@ void Window::flush(int target) {
   router_.nic().ctx().advance(mgr_.params().o_flush);
   router_.wait_progress(
       [this, target] { return pending(target).all_done(); }, "rma-flush");
+  mgr_.c_flushes_.inc();
+  mgr_.h_flush_wait_ns_.record_time(router_.nic().ctx().now() - begin);
   if (tracer)
     tracer->span(rank(), "rma", "flush", begin, router_.nic().ctx().now());
 }
 
 void Window::flush_all() {
+  const Time begin = router_.nic().ctx().now();
   router_.nic().ctx().advance(mgr_.params().o_flush);
   router_.wait_progress(
       [this] {
@@ -180,10 +200,13 @@ void Window::flush_all() {
         return true;
       },
       "rma-flush-all");
+  mgr_.c_flushes_.inc();
+  mgr_.h_flush_wait_ns_.record_time(router_.nic().ctx().now() - begin);
 }
 
 void Window::fence() {
   router_.nic().ctx().advance(mgr_.params().o_sync);
+  mgr_.c_fences_.inc();
   flush_all();
   mp::barrier(ep_);
 }
@@ -192,6 +215,7 @@ void Window::fence() {
 
 void Window::post(std::span<const int> origin_group) {
   router_.nic().ctx().advance(mgr_.params().o_sync);
+  mgr_.c_pscw_syncs_.inc();
   exposure_group_.assign(origin_group.begin(), origin_group.end());
   for (int origin : exposure_group_) {
     net::NetMsg m;
@@ -204,6 +228,7 @@ void Window::post(std::span<const int> origin_group) {
 
 void Window::start(std::span<const int> target_group) {
   router_.nic().ctx().advance(mgr_.params().o_sync);
+  mgr_.c_pscw_syncs_.inc();
   access_group_.assign(target_group.begin(), target_group.end());
   // Wait for a post from every target in the group.
   router_.wait_progress(
@@ -218,6 +243,7 @@ void Window::start(std::span<const int> target_group) {
 
 void Window::complete() {
   router_.nic().ctx().advance(mgr_.params().o_sync);
+  mgr_.c_pscw_syncs_.inc();
   for (int t : access_group_) flush(t);
   for (int t : access_group_) {
     net::NetMsg m;
@@ -238,6 +264,7 @@ bool Window::test_pscw() {
 
 void Window::wait() {
   router_.nic().ctx().advance(mgr_.params().o_sync);
+  mgr_.c_pscw_syncs_.inc();
   router_.wait_progress(
       [this] {
         for (int o : exposure_group_)

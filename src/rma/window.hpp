@@ -53,6 +53,10 @@ class WinManager {
   mp::Endpoint& endpoint() { return ep_; }
   const RmaParams& params() const { return params_; }
 
+  /// Registers the rank's rma.* metric families; shared by every window the
+  /// manager creates. Without it every hook stays a disengaged no-op.
+  void bind_metrics(obs::Registry& reg);
+
  private:
   friend class Window;
   void on_pscw(net::NetMsg&& m);
@@ -62,6 +66,15 @@ class WinManager {
   RmaParams params_;
   std::uint64_t next_win_id_ = 1;
   std::unordered_map<std::uint64_t, Window*> windows_;
+
+  // Observability (rma.* families); disengaged handles are no-ops.
+  obs::Counter c_puts_;
+  obs::Counter c_gets_;
+  obs::Counter c_atomics_;
+  obs::Counter c_flushes_;
+  obs::Counter c_fences_;
+  obs::Counter c_pscw_syncs_;
+  obs::Histogram h_flush_wait_ns_;
 };
 
 class Window {

@@ -21,24 +21,28 @@ int RankCtx::nranks() const { return engine_->nranks(); }
 void RankCtx::drain() { engine_->execute_due(clock_); }
 
 void RankCtx::yield_until(Time t, const char* label) {
+  const Time c0 = clock_;
   advance_to(t);
   auto& s = engine_->slot(id_);
   s.state = detail::RankState::kReady;
   s.resume_time = clock_;
   s.block_label = label;
   engine_->yield_to_engine(id_);
+  blocked_ += clock_ - c0;
   drain();
 }
 
 void RankCtx::wait(Trigger& trg, const char* label) {
   // Register before yielding: between the caller's predicate check and this
   // registration no other simulation thread can run, so no wakeup is lost.
+  const Time c0 = clock_;
   trg.waiters_.push_back(id_);
   auto& s = engine_->slot(id_);
   s.state = detail::RankState::kBlocked;
   s.resume_time = Engine::kNever;
   s.block_label = label;
   engine_->yield_to_engine(id_);
+  blocked_ += clock_ - c0;
   drain();
 }
 

@@ -135,12 +135,18 @@ class RankCtx {
   /// Blocks until `trg` is notified. Re-check your predicate in a loop.
   void wait(Trigger& trg, const char* label);
 
+  /// Virtual time this rank has spent blocked or sleeping (wait /
+  /// yield_until), i.e. clock advances not caused by explicit charges.
+  /// busy = now() - blocked_time(); the metrics layer exports both.
+  Time blocked_time() const { return blocked_; }
+
  private:
   friend class Engine;
 
   Engine* engine_;
   int id_;
   Time clock_ = 0;
+  Time blocked_ = 0;
 };
 
 /// The discrete-event engine. Owns the event heap and the rank threads.

@@ -60,6 +60,12 @@ std::string Tracer::to_json() const {
           emit("\"ph\":\"f\",\"bp\":\"e\",\"id\":" +
                std::to_string(e.flow_id) + "," + common);
           break;
+        case Kind::kCounter: {
+          char v[32];
+          std::snprintf(v, sizeof(v), "%.17g", e.value);
+          emit("\"ph\":\"C\"," + common + ",\"args\":{\"value\":" + v + "}");
+          break;
+        }
       }
     }
   }

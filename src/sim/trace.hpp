@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/time.hpp"
 
 namespace narma::sim {
@@ -48,6 +49,15 @@ class Tracer {
         {std::move(name), category, arrive, arrive, Kind::kFlowEnd, id});
   }
 
+  /// One sample of a counter track ("C" phase). Perfetto renders all samples
+  /// with the same name as one track; the metrics registry emits one track
+  /// per (metric, rank) and samples it on change.
+  void counter(int rank, const char* category, std::string name, Time at,
+               double value) {
+    lane(rank).push_back(
+        {std::move(name), category, at, at, Kind::kCounter, 0, value});
+  }
+
   std::size_t event_count() const {
     std::size_t n = 0;
     for (const auto& l : ranks_) n += l.size();
@@ -61,7 +71,13 @@ class Tracer {
   bool write_json(const std::string& path) const;
 
  private:
-  enum class Kind : std::uint8_t { kSpan, kInstant, kFlowStart, kFlowEnd };
+  enum class Kind : std::uint8_t {
+    kSpan,
+    kInstant,
+    kFlowStart,
+    kFlowEnd,
+    kCounter
+  };
 
   struct Event {
     std::string name;
@@ -70,9 +86,13 @@ class Tracer {
     Time end;
     Kind kind;
     std::uint64_t flow_id = 0;
+    double value = 0;  // counter samples only
   };
 
   std::vector<Event>& lane(int rank) {
+    NARMA_CHECK(rank >= 0 && static_cast<std::size_t>(rank) < ranks_.size())
+        << "trace event for out-of-range rank " << rank << " (tracer has "
+        << ranks_.size() << " lanes)";
     return ranks_[static_cast<std::size_t>(rank)];
   }
 

@@ -51,6 +51,19 @@ TEST(Stats, SummarizeFillsAllFields) {
   EXPECT_GT(s.stddev, 0.0);
 }
 
+TEST(Stats, SummarizeTailQuantiles) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  const auto s = stats::summarize(xs);
+  EXPECT_DOUBLE_EQ(s.p10, stats::quantile(xs, 0.10));
+  EXPECT_DOUBLE_EQ(s.p90, stats::quantile(xs, 0.90));
+  EXPECT_DOUBLE_EQ(s.p99, stats::quantile(xs, 0.99));
+  EXPECT_LT(s.p10, s.median);
+  EXPECT_LT(s.median, s.p90);
+  EXPECT_LT(s.p90, s.p99);
+  EXPECT_LE(s.p99, s.max);
+}
+
 TEST(RingBuffer, PushPopFifo) {
   RingBuffer<int> rb(4);
   for (int i = 0; i < 4; ++i) rb.push(i);

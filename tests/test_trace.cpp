@@ -112,3 +112,22 @@ TEST(Trace, EscapesSuspiciousNames) {
   const std::string json = t.to_json();
   EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
 }
+
+TEST(Trace, OutOfRangeRankAborts) {
+  sim::Tracer t(2);
+  EXPECT_DEATH(t.instant(2, "test", "beyond", us(1)), "out-of-range rank");
+  EXPECT_DEATH(t.instant(-1, "test", "negative", us(1)),
+               "out-of-range rank");
+}
+
+TEST(Trace, CounterSamplesRenderAsCounterEvents) {
+  sim::Tracer t(1);
+  t.counter(0, "obs", "na.uq_depth (rank 0)", us(1), 3.0);
+  t.counter(0, "obs", "na.uq_depth (rank 0)", us(2), 5.0);
+  EXPECT_EQ(t.event_count(), 2u);
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("na.uq_depth (rank 0)"), std::string::npos);
+  EXPECT_NE(json.find("\"value\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"value\":5"), std::string::npos);
+}

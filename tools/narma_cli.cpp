@@ -8,16 +8,22 @@
 //   narma_cli tree     --variant=na --ranks=64 --arity=16 --elems=8
 //   narma_cli cholesky --variant=mp --ranks=8 --nt=24 --b=32 [--trace=f.json]
 //
-// Every subcommand prints one result line (plus the trace file if asked),
-// suitable for scripting sweeps.
+// Every subcommand prints one result line (plus the trace/metrics files if
+// asked), suitable for scripting sweeps. `report` post-processes those
+// files: per-category virtual-time breakdowns, top-k spans, and per-rank
+// busy fractions.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "apps/cholesky.hpp"
 #include "apps/stencil.hpp"
 #include "apps/tree.hpp"
+#include "common/json.hpp"
+#include "common/table.hpp"
 #include "narma/narma.hpp"
 
 namespace {
@@ -66,10 +72,177 @@ int usage() {
       "  tree      --variant=na|mp|pscw|vendor --ranks=N --arity=K\n"
       "            --elems=E --reps=R\n"
       "  cholesky  --variant=na|mp|os --ranks=N --nt=T --b=B [--gflops=G]\n"
+      "  report    --trace=FILE [--metrics=FILE] [--topk=N]\n"
+      "            summarize a recorded run: per-category virtual time,\n"
+      "            longest spans, per-rank busy fractions\n"
       "\n"
-      "common:     [--trace=FILE]  write a Chrome trace of the run\n",
+      "common:     [--trace=FILE]    write a Chrome trace of the run\n"
+      "            [--metrics=FILE]  write the metrics registry dump\n",
       stderr);
   return 2;
+}
+
+/// Writes the requested artifacts of a finished run (trace + metrics).
+void dump_artifacts(World& world, const Args& a) {
+  if (a.kv.count("trace")) world.dump_trace(a.get("trace", "trace.json"));
+  if (a.kv.count("metrics"))
+    world.dump_metrics(a.get("metrics", "metrics.json"));
+}
+
+// --- report ------------------------------------------------------------------
+
+int run_report(const Args& a) {
+  if (!a.kv.count("trace")) {
+    std::fputs("report: --trace=FILE is required\n", stderr);
+    return 2;
+  }
+  const std::string trace_path = a.get("trace", "trace.json");
+  const auto topk = static_cast<std::size_t>(a.get("topk", 10));
+
+  const json::ParseResult doc = json::parse_file(trace_path);
+  if (!doc.ok) {
+    std::fprintf(stderr, "report: %s: %s (offset %zu)\n", trace_path.c_str(),
+                 doc.error.c_str(), doc.error_pos);
+    return 1;
+  }
+  const json::Array& events = doc.value["traceEvents"].as_array();
+  if (events.empty()) {
+    std::fprintf(stderr, "report: %s has no traceEvents\n",
+                 trace_path.c_str());
+    return 1;
+  }
+
+  struct Span {
+    std::string name, cat;
+    int rank;
+    double ts_us, dur_us;
+  };
+  struct CatAgg {
+    std::uint64_t spans = 0;
+    double total_us = 0;
+  };
+  std::vector<Span> spans;
+  std::map<std::string, CatAgg> by_cat;
+  std::map<int, double> rank_span_us;  // per-rank time inside spans
+  std::map<int, double> rank_end_us;   // per-rank last event end
+  std::uint64_t counter_events = 0;
+
+  for (const json::Value& e : events) {
+    const std::string ph = e.string_or("ph", "");
+    const int rank = static_cast<int>(e.number_or("tid", 0));
+    if (ph == "C") {
+      ++counter_events;
+      continue;
+    }
+    if (ph != "X") continue;
+    Span s{e.string_or("name", "?"), e.string_or("cat", "?"), rank,
+           e.number_or("ts", 0), e.number_or("dur", 0)};
+    CatAgg& agg = by_cat[s.cat];
+    ++agg.spans;
+    agg.total_us += s.dur_us;
+    rank_span_us[rank] += s.dur_us;
+    rank_end_us[rank] =
+        std::max(rank_end_us[rank], s.ts_us + s.dur_us);
+    spans.push_back(std::move(s));
+  }
+
+  double trace_end_us = 0;
+  for (const auto& [r, end] : rank_end_us)
+    trace_end_us = std::max(trace_end_us, end);
+
+  std::printf("trace %s: %zu events (%zu spans, %llu counter points), "
+              "end of last span at %.3f us\n",
+              trace_path.c_str(), events.size(), spans.size(),
+              static_cast<unsigned long long>(counter_events), trace_end_us);
+
+  // Per-category breakdown: span time summed over all ranks; the percent
+  // column is relative to (ranks x trace end), i.e. total rank-time.
+  const double rank_time_us =
+      trace_end_us * static_cast<double>(std::max<std::size_t>(
+                         rank_end_us.size(), 1));
+  Table cat_table({"category", "spans", "total_ms", "% of rank-time"});
+  double traced_total_us = 0;
+  for (const auto& [cat, agg] : by_cat) {
+    traced_total_us += agg.total_us;
+    cat_table.add_row({cat, Table::fmt(static_cast<std::size_t>(agg.spans)),
+                       Table::fmt(agg.total_us / 1e3),
+                       Table::fmt(rank_time_us > 0
+                                      ? 100.0 * agg.total_us / rank_time_us
+                                      : 0.0,
+                                  1)});
+  }
+  cat_table.add_row({"(all)",
+                     Table::fmt(spans.size()),
+                     Table::fmt(traced_total_us / 1e3),
+                     Table::fmt(rank_time_us > 0
+                                    ? 100.0 * traced_total_us / rank_time_us
+                                    : 0.0,
+                                1)});
+  std::printf("\nper-category virtual time:\n");
+  cat_table.print();
+
+  // Top-k spans by duration.
+  std::sort(spans.begin(), spans.end(),
+            [](const Span& x, const Span& y) { return x.dur_us > y.dur_us; });
+  Table top_table({"span", "category", "rank", "start_us", "dur_us"});
+  for (std::size_t i = 0; i < std::min(topk, spans.size()); ++i) {
+    const Span& s = spans[i];
+    top_table.add_row({s.name, s.cat, Table::fmt(static_cast<long long>(
+                                          s.rank)),
+                       Table::fmt(s.ts_us), Table::fmt(s.dur_us)});
+  }
+  std::printf("\ntop %zu spans:\n", std::min(topk, spans.size()));
+  top_table.print();
+
+  // Per-rank busy fractions from the metrics dump (sim.* gauges).
+  if (a.kv.count("metrics")) {
+    const std::string metrics_path = a.get("metrics", "metrics.json");
+    const json::ParseResult m = json::parse_file(metrics_path);
+    if (!m.ok) {
+      std::fprintf(stderr, "report: %s: %s (offset %zu)\n",
+                   metrics_path.c_str(), m.error.c_str(), m.error_pos);
+      return 1;
+    }
+    if (m.value.string_or("schema", "") != "narma.metrics.v1") {
+      std::fprintf(stderr, "report: %s: unknown metrics schema '%s'\n",
+                   metrics_path.c_str(),
+                   m.value.string_or("schema", "").c_str());
+      return 1;
+    }
+    const int nranks = static_cast<int>(m.value.number_or("nranks", 0));
+    auto per_rank_of = [&](const std::string& name) -> const json::Value& {
+      static const json::Value kNull;
+      for (const json::Value& fam : m.value["metrics"].as_array())
+        if (fam.string_or("name", "") == name) return fam["per_rank"];
+      return kNull;
+    };
+    const json::Value& busy = per_rank_of("sim.busy_ns");
+    const json::Value& blocked = per_rank_of("sim.blocked_ns");
+    const json::Value& total = per_rank_of("sim.total_ns");
+    if (!busy.is_array() || !total.is_array()) {
+      std::fprintf(stderr,
+                   "report: %s has no sim.busy_ns/sim.total_ns gauges\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    Table busy_table(
+        {"rank", "busy_ms", "blocked_ms", "total_ms", "busy_frac"});
+    for (int r = 0; r < nranks; ++r) {
+      const double b = busy[static_cast<std::size_t>(r)].number_or("value", 0);
+      const double w =
+          blocked[static_cast<std::size_t>(r)].number_or("value", 0);
+      const double t =
+          total[static_cast<std::size_t>(r)].number_or("value", 0);
+      busy_table.add_row({Table::fmt(static_cast<long long>(r)),
+                          Table::fmt(b / 1e6), Table::fmt(w / 1e6),
+                          Table::fmt(t / 1e6),
+                          Table::fmt(t > 0 ? b / t : 0.0)});
+    }
+    std::printf("\nper-rank busy fraction (from %s):\n",
+                metrics_path.c_str());
+    busy_table.print();
+  }
+  return 0;
 }
 
 int run_pingpong(const Args& a) {
@@ -146,7 +319,7 @@ int run_pingpong(const Args& a) {
   });
   std::printf("pingpong scheme=%s bytes=%zu reps=%d half_rtt_us=%.3f\n",
               scheme.c_str(), bytes, reps, stats::median(samples));
-  if (a.kv.count("trace")) world.dump_trace(a.get("trace", "trace.json"));
+  dump_artifacts(world, a);
   return 0;
 }
 
@@ -172,7 +345,7 @@ int run_stencil(const Args& a) {
       "stencil variant=%s ranks=%d rows=%d cols=%d gmops=%.4f verified=%s\n",
       v.c_str(), ranks, cfg.rows, cfg.total_cols, res.gmops,
       res.verified ? "yes" : "NO");
-  if (a.kv.count("trace")) world.dump_trace(a.get("trace", "trace.json"));
+  dump_artifacts(world, a);
   return res.verified ? 0 : 1;
 }
 
@@ -199,7 +372,7 @@ int run_tree(const Args& a) {
       "verified=%s\n",
       v.c_str(), ranks, cfg.arity, cfg.elems, res.per_op_us,
       res.verified ? "yes" : "NO");
-  if (a.kv.count("trace")) world.dump_trace(a.get("trace", "trace.json"));
+  dump_artifacts(world, a);
   return res.verified ? 0 : 1;
 }
 
@@ -225,7 +398,7 @@ int run_cholesky(const Args& a) {
       "residual=%.2e verified=%s\n",
       v.c_str(), ranks, cfg.nt, cfg.b, to_ms(res.elapsed), res.gflops,
       res.residual, res.verified ? "yes" : "NO");
-  if (a.kv.count("trace")) world.dump_trace(a.get("trace", "trace.json"));
+  dump_artifacts(world, a);
   return res.verified ? 0 : 1;
 }
 
@@ -237,5 +410,6 @@ int main(int argc, char** argv) {
   if (a.command == "stencil") return run_stencil(a);
   if (a.command == "tree") return run_tree(a);
   if (a.command == "cholesky") return run_cholesky(a);
+  if (a.command == "report") return run_report(a);
   return usage();
 }
