@@ -1,10 +1,26 @@
 #include "core/world.hpp"
 
+#include "common/env.hpp"
+
 namespace narma {
+
+namespace {
+
+sim::SimParams resolve_sim_params(sim::SimParams p) {
+  // Ablation override (see WorldParams::sim). Unknown values keep the
+  // configured queue.
+  const std::string q = env::get_string("NARMA_EVENT_QUEUE", "");
+  if (q == "legacy") p.event_queue = sim::EventQueue::kLegacyHeap;
+  if (q == "calendar") p.event_queue = sim::EventQueue::kCalendar;
+  return p;
+}
+
+}  // namespace
 
 World::World(int nranks, WorldParams params)
     : params_(params),
-      engine_(std::make_unique<sim::Engine>(nranks)),
+      engine_(std::make_unique<sim::Engine>(nranks,
+                                            resolve_sim_params(params.sim))),
       metrics_(params.enable_metrics
                    ? std::make_unique<obs::Registry>(nranks)
                    : nullptr),
@@ -24,6 +40,40 @@ void World::run(const std::function<void(Rank&)>& rank_main) {
   // stamped at each rank's finish time so the values are well-ordered in the
   // counter tracks.
   metrics_->counter("sim.events_executed", 0).inc(engine_->events_executed());
+  metrics_->counter("sim.events_posted", 0).inc(engine_->events_posted());
+  metrics_->counter("sim.batched_posts", 0).inc(engine_->batched_posts());
+  // Engine-core wall-clock throughput and queue/pool occupancy: the
+  // observability view of the simulator's own hot loop (events/sec is the
+  // ceiling on every experiment above it).
+  const Time t_end = engine_->nranks() ? engine_->rank(0).now() : 0;
+  const std::uint64_t wall_ns = engine_->run_wall_ns();
+  metrics_->gauge("sim.run_wall_ns", 0)
+      .set(static_cast<std::int64_t>(wall_ns), t_end);
+  if (wall_ns > 0)
+    metrics_->gauge("sim.events_per_sec", 0)
+        .set(static_cast<std::int64_t>(engine_->events_executed() *
+                                       1000000000ull / wall_ns),
+             t_end);
+  metrics_->gauge("sim.event_queue_hw", 0)
+      .set(static_cast<std::int64_t>(engine_->queue_high_water()), t_end);
+  const sim::EventPool::Stats& pool = engine_->pool_stats();
+  metrics_->gauge("sim.event_pool_live", 0)
+      .set(static_cast<std::int64_t>(pool.live), t_end);
+  metrics_->gauge("sim.event_pool_capacity", 0)
+      .set(static_cast<std::int64_t>(pool.capacity), t_end);
+  metrics_->gauge("sim.event_pool_recycled", 0)
+      .set(static_cast<std::int64_t>(pool.recycled), t_end);
+  metrics_->gauge("sim.event_pool_oversize", 0)
+      .set(static_cast<std::int64_t>(pool.oversize), t_end);
+  // Queue depth sampled at each pop, merged bucket-wise (the engine cannot
+  // link obs, so it records into its own log2 histogram).
+  obs::Histogram depth = metrics_->histogram("sim.queue_depth_at_pop", 0);
+  const sim::Log2Hist& h = engine_->pop_depth_hist();
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    if (!h.buckets[i]) continue;
+    const std::uint64_t rep = i == 0 ? 0 : (1ull << (i - 1));
+    depth.record_multi(rep, h.buckets[i]);
+  }
   for (int r = 0; r < engine_->nranks(); ++r) {
     sim::RankCtx& ctx = engine_->rank(r);
     const Time total = ctx.now();

@@ -33,6 +33,12 @@
 namespace narma {
 
 struct WorldParams {
+  /// Simulator-core knobs (event queue selection, calendar sizing). The
+  /// environment variable NARMA_EVENT_QUEUE={legacy,calendar} overrides
+  /// `sim.event_queue` at World construction — an ablation convenience for
+  /// the wall-clock comparisons in EXPERIMENTS.md; both queues produce
+  /// bit-identical virtual times (tests/test_sim_engine_props.cpp).
+  sim::SimParams sim;
   net::FabricParams fabric;
   mp::MpParams mp;
   rma::RmaParams rma;

@@ -38,10 +38,9 @@ Nic& Fabric::nic(int rank) {
   return *nics_[static_cast<std::size_t>(rank)];
 }
 
-Time Fabric::schedule_transfer(int src, int dst, Time t_issue,
-                               std::size_t bytes, Transport transport,
-                               ChannelClass cls,
-                               std::function<void(Time)> on_deliver) {
+Time Fabric::reserve_transfer(int src, int dst, Time t_issue,
+                              std::size_t bytes, Transport transport,
+                              ChannelClass cls) {
   const TransportTiming& tt = params_.timing(transport);
   Channel& c = chan(src, dst, cls);
   const Time start = std::max(t_issue, c.next_free);
@@ -59,8 +58,6 @@ Time Fabric::schedule_transfer(int src, int dst, Time t_issue,
     // Queueing delay: how long the injection waited for the channel.
     m.queue_delay.record_time(start - t_issue);
   }
-  engine_.post(deliver,
-               [fn = std::move(on_deliver), deliver] { fn(deliver); });
   return deliver;
 }
 

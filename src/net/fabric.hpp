@@ -63,12 +63,29 @@ class Fabric {
                                               : Transport::kFma;
   }
 
+  /// Charges the channel-serialization and LogGP costs of a transfer of
+  /// `bytes` from `src` to `dst` issued at virtual time `t_issue` and
+  /// returns its delivery time — without scheduling anything. Callers that
+  /// need several events at the delivery instant (e.g. the NIC's
+  /// shm-notification path) pair this with Engine::post_batch.
+  Time reserve_transfer(int src, int dst, Time t_issue, std::size_t bytes,
+                        Transport transport, ChannelClass cls);
+
   /// Schedules a channel-serialized transfer of `bytes` from `src` to `dst`
   /// issued at virtual time `t_issue`; `on_deliver` runs at the delivery
-  /// time (passed as argument). Returns the delivery time.
+  /// time (passed as argument). Returns the delivery time. Templated so the
+  /// delivery closure flows into the engine's inline event storage without
+  /// an intermediate std::function allocation.
+  template <class F>
   Time schedule_transfer(int src, int dst, Time t_issue, std::size_t bytes,
                          Transport transport, ChannelClass cls,
-                         std::function<void(Time)> on_deliver);
+                         F&& on_deliver) {
+    const Time deliver =
+        reserve_transfer(src, dst, t_issue, bytes, transport, cls);
+    engine_.post(deliver,
+                 [fn = std::forward<F>(on_deliver), deliver] { fn(deliver); });
+    return deliver;
+  }
 
   FabricCounters& counters() { return counters_; }
   const FabricCounters& counters() const { return counters_; }

@@ -355,23 +355,27 @@ void Nic::send_shm_notification(int target, ShmNotification n,
   Nic* tgt = &fabric_.nic(target);
   if (pending) ++pending->issued;
   g_src_pending_.add(1, ctx_.now());
-  // One cache line on the intra-node interconnect.
-  const Time deliver = fabric_.schedule_transfer(
-      rank(), target, ctx_.now(), 64, Transport::kShm,
-      Fabric::ChannelClass::kData, [tgt, n](Time t) {
-        ShmNotification entry = n;
-        entry.time = t;
-        tgt->push_shm(entry);
-      });
+  // One cache line on the intra-node interconnect. Delivery at the target
+  // and local completion (coherent shared memory completes at delivery)
+  // happen at the same instant, so both are posted as one event batch.
+  const Time deliver =
+      fabric_.reserve_transfer(rank(), target, ctx_.now(), 64,
+                               Transport::kShm, Fabric::ChannelClass::kData);
   if (auto* tracer = fabric_.tracer())
     tracer->flow(rank(), target, "shm", "notification", ctx_.now(), deliver);
-  // Coherent shared memory: locally complete at delivery.
   Nic* self = this;
-  fabric_.engine().post(deliver, [self, pending, deliver] {
-    if (pending) ++pending->completed;
-    self->g_src_pending_.add(-1, deliver);
-    self->progress_.notify(self->fabric_.engine(), deliver);
-  });
+  fabric_.engine().post_batch(
+      deliver,
+      [tgt, n, deliver] {
+        ShmNotification entry = n;
+        entry.time = deliver;
+        tgt->push_shm(entry);
+      },
+      [self, pending, deliver] {
+        if (pending) ++pending->completed;
+        self->g_src_pending_.add(-1, deliver);
+        self->progress_.notify(self->fabric_.engine(), deliver);
+      });
 }
 
 }  // namespace narma::net

@@ -22,6 +22,16 @@ void HistData::record(std::uint64_t v) {
   if (v > max) max = v;
 }
 
+void HistData::record_multi(std::uint64_t v, std::uint64_t n) {
+  if (n == 0) return;
+  buckets[static_cast<std::size_t>(std::bit_width(v))] += n;
+  const bool first = count == 0;
+  count += n;
+  sum += v * n;
+  if (first || v < min) min = v;
+  if (v > max) max = v;
+}
+
 double HistData::quantile(double q) const {
   if (count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);

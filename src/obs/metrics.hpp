@@ -58,6 +58,9 @@ struct HistData {
   std::uint64_t max = 0;
 
   void record(std::uint64_t v);
+  /// Records `n` samples of value `v` in O(1) — used to merge pre-bucketed
+  /// histograms (e.g. the engine's pop-depth counts) into the registry.
+  void record_multi(std::uint64_t v, std::uint64_t n);
   /// Quantile estimate from the buckets (geometric bucket midpoint).
   double quantile(double q) const;
 };
@@ -120,6 +123,10 @@ class Histogram {
   Histogram() = default;
   void record(std::uint64_t v) {
     if (cell_) cell_->hist.record(v);
+  }
+  /// Bulk merge: `n` samples of value `v` in O(1).
+  void record_multi(std::uint64_t v, std::uint64_t n) {
+    if (cell_) cell_->hist.record_multi(v, n);
   }
   void record_time(Time dt) { record(static_cast<std::uint64_t>(to_ns(dt))); }
   const HistData* data() const { return cell_ ? &cell_->hist : nullptr; }

@@ -8,10 +8,14 @@ namespace narma::sim {
 
 void Trigger::notify(Engine& eng, Time t) {
   if (waiters_.empty()) return;
-  // Swap out first: waking a rank must not re-enter this waiter list.
-  std::vector<int> woken;
-  woken.swap(waiters_);
-  for (int r : woken) eng.wake(r, t);
+  // Swap out first: a woken rank that re-checks its predicate and re-waits
+  // must register on a fresh list, not the one being iterated. wake() never
+  // re-enters notify(), so scratch_ is not live across a nested call; the
+  // two buffers ping-pong their capacity, so steady-state notification
+  // performs no allocation.
+  scratch_.swap(waiters_);
+  for (int r : scratch_) eng.wake(r, t);
+  scratch_.clear();
 }
 
 // ---------------------------------------------------------------- RankCtx --
@@ -27,6 +31,7 @@ void RankCtx::yield_until(Time t, const char* label) {
   s.state = detail::RankState::kReady;
   s.resume_time = clock_;
   s.block_label = label;
+  engine_->ready_push(id_, clock_);
   engine_->yield_to_engine(id_);
   blocked_ += clock_ - c0;
   drain();
@@ -48,20 +53,22 @@ void RankCtx::wait(Trigger& trg, const char* label) {
 
 // ----------------------------------------------------------------- Engine --
 
-Engine::Engine(int nranks) : slots_(static_cast<std::size_t>(nranks)) {
+Engine::Engine(int nranks, SimParams params)
+    : params_(params),
+      slots_(static_cast<std::size_t>(nranks)),
+      calendar_(params.calendar_buckets),
+      use_calendar_(params.event_queue == EventQueue::kCalendar) {
   NARMA_CHECK(nranks >= 1) << "engine needs at least one rank";
+  NARMA_CHECK(params.calendar_buckets >= 1);
   for (int i = 0; i < nranks; ++i)
     slots_[static_cast<std::size_t>(i)].ctx =
         std::make_unique<RankCtx>(*this, i);
+  ready_.reserve(static_cast<std::size_t>(nranks));
 }
 
 Engine::~Engine() {
   for (auto& s : slots_)
     if (s.thread.joinable()) s.thread.join();
-}
-
-void Engine::post(Time t, std::function<void()> fn) {
-  heap_.push(detail::Event{t, next_seq_++, std::move(fn)});
 }
 
 void Engine::yield_to_engine(int rank_id) {
@@ -78,35 +85,61 @@ void Engine::resume_rank(detail::RankSlot& s) {
   engine_sem_.acquire();
 }
 
+void Engine::ready_push(int rank_id, Time t) {
+  ready_.emplace_back(t, rank_id);
+  std::push_heap(ready_.begin(), ready_.end(),
+                 std::greater<std::pair<Time, int>>{});
+}
+
+int Engine::ready_pop() {
+  NARMA_ASSERT(!ready_.empty());
+  std::pop_heap(ready_.begin(), ready_.end(),
+                std::greater<std::pair<Time, int>>{});
+  const int id = ready_.back().second;
+  ready_.pop_back();
+  return id;
+}
+
 void Engine::wake(int rank_id, Time t) {
   auto& s = slot(rank_id);
   // Spurious notify on an already-ready or running rank is harmless; only
-  // blocked ranks transition.
+  // blocked ranks transition (and enter the ready heap).
   if (s.state != detail::RankState::kBlocked) return;
   s.state = detail::RankState::kReady;
   s.resume_time = std::max(s.ctx->now(), t);
+  ready_push(rank_id, s.resume_time);
+}
+
+void Engine::run_one_event() {
+  ++events_executed_;
+  pop_depth_hist_.record(queue_size());
+  if (use_calendar_) {
+    // True move-out pop: the closure is never copied.
+    CalEvent ev = calendar_.pop();
+    ev.fn();
+  } else {
+    // Legacy path: copies the closure out of the heap top (see
+    // LegacyHeapQueue::pop_copy), preserved behind SimParams::event_queue.
+    std::function<void()> fn = legacy_.pop_copy();
+    fn();
+  }
 }
 
 void Engine::execute_due(Time horizon) {
   // Event handlers may post new events at or before the horizon; the loop
-  // re-checks the heap top each iteration.
-  while (!heap_.empty() && heap_.top().time <= horizon) {
-    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-    // so copy the function handle instead (cheap: one shared allocation).
-    detail::Event ev = heap_.top();
-    heap_.pop();
-    ++events_executed_;
-    ev.fn();
-  }
+  // re-checks the queue front each iteration.
+  while (!queue_empty() && queue_top_time() <= horizon) run_one_event();
 }
 
 void Engine::run(const std::function<void(RankCtx&)>& rank_main) {
   NARMA_CHECK(!running_) << "Engine::run may only be called once";
   running_ = true;
 
-  for (auto& s : slots_) {
+  for (int i = 0; i < nranks(); ++i) {
+    auto& s = slot(i);
     s.state = detail::RankState::kReady;
     s.resume_time = 0;
+    ready_push(i, 0);
     s.thread = std::thread([this, &s, &rank_main] {
       s.resume.acquire();
       s.state = detail::RankState::kRunning;
@@ -116,31 +149,25 @@ void Engine::run(const std::function<void(RankCtx&)>& rank_main) {
     });
   }
 
+  const std::uint64_t wall0 = wallclock_ns();
   int unfinished = nranks();
   while (unfinished > 0) {
-    // Pick the ready rank with the smallest (resume_time, id).
-    detail::RankSlot* best = nullptr;
-    for (auto& s : slots_) {
-      if (s.state != detail::RankState::kReady) continue;
-      if (!best || s.resume_time < best->resume_time) best = &s;
-    }
-
-    if (!heap_.empty() &&
-        (!best || heap_.top().time <= best->resume_time)) {
+    const bool have_rank = !ready_.empty();
+    if (!queue_empty() &&
+        (!have_rank || queue_top_time() <= ready_.front().first)) {
       // Hardware events run before any rank that would resume at the same
       // instant, so a resuming rank observes everything <= its clock.
-      detail::Event ev = heap_.top();
-      heap_.pop();
-      ++events_executed_;
-      ev.fn();
+      run_one_event();
       continue;
     }
 
-    if (!best) deadlock_dump();
+    if (!have_rank) deadlock_dump();
 
-    resume_rank(*best);
-    if (best->state == detail::RankState::kFinished) --unfinished;
+    detail::RankSlot& s = slot(ready_pop());
+    resume_rank(s);
+    if (s.state == detail::RankState::kFinished) --unfinished;
   }
+  run_wall_ns_ += wallclock_ns() - wall0;
 
   for (auto& s : slots_)
     if (s.thread.joinable()) s.thread.join();

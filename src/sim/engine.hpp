@@ -18,18 +18,24 @@
 // Virtual time model (conservative, LogGOPSim-style): each rank owns a
 // virtual clock that advances through explicit charges (`advance`) and
 // through blocking. Hardware actions (message deliveries, completion-queue
-// postings) are *events* scheduled on a global min-heap. The causality
-// invariant is: before a rank observes any shared simulation state at its
-// local clock c, all events with time <= c have executed. Ranks uphold it by
-// calling `drain()` at every observation point (the communication layers do
-// this internally).
+// postings) are *events* scheduled on a global queue — by default the
+// calendar queue of pooled InlineFn closures (event_queue.hpp), with the
+// original binary heap selectable via SimParams::event_queue; both produce
+// bit-identical execution. The causality invariant is: before a rank
+// observes any shared simulation state at its local clock c, all events
+// with time <= c have executed. Ranks uphold it by calling `drain()` at
+// every observation point (the communication layers do this internally).
+//
+// Scheduling is O(log n) in the rank count: ready ranks sit in a binary
+// min-heap on (resume_time, id), pushed at the three transition sites into
+// kReady (initial start, Engine::wake, RankCtx::yield_until) and popped
+// when resumed — replacing the per-iteration linear scan over all slots.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <memory>
-#include <queue>
 #include <semaphore>
 #include <string>
 #include <thread>
@@ -37,6 +43,8 @@
 
 #include "common/assert.hpp"
 #include "common/time.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/params.hpp"
 
 namespace narma::sim {
 
@@ -58,6 +66,10 @@ class Trigger {
  private:
   friend class RankCtx;
   std::vector<int> waiters_;  // rank ids, in wait order
+  // Scratch for notify(): the waiter list is swapped out before waking (a
+  // woken rank that later re-waits must land on a fresh list), and the two
+  // buffers ping-pong so steady-state notification never allocates.
+  std::vector<int> scratch_;
 };
 
 namespace detail {
@@ -76,18 +88,6 @@ struct RankSlot {
   RankState state = detail::RankState::kReady;
   Time resume_time = 0;
   const char* block_label = "";  // diagnostic for deadlock dumps
-};
-
-struct Event {
-  Time time;
-  std::uint64_t seq;
-  std::function<void()> fn;
-};
-
-struct EventLater {
-  bool operator()(const Event& a, const Event& b) const {
-    return a.time != b.time ? a.time > b.time : a.seq > b.seq;
-  }
 };
 
 }  // namespace detail
@@ -149,10 +149,10 @@ class RankCtx {
   Time blocked_ = 0;
 };
 
-/// The discrete-event engine. Owns the event heap and the rank threads.
+/// The discrete-event engine. Owns the event queue and the rank threads.
 class Engine {
  public:
-  explicit Engine(int nranks);
+  explicit Engine(int nranks, SimParams params = {});
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -162,14 +162,59 @@ class Engine {
   void run(const std::function<void(RankCtx&)>& rank_main);
 
   /// Schedules `fn` to execute at virtual time `t`. Callable from rank
-  /// threads and from event handlers.
-  void post(Time t, std::function<void()> fn);
+  /// threads and from event handlers. The closure is stored inline (or in
+  /// the slab EventPool when oversized) — no per-event heap allocation on
+  /// the calendar queue.
+  template <class F>
+  void post(Time t, F&& fn) {
+    const std::uint64_t seq = next_seq_++;
+    if (use_calendar_)
+      calendar_.push(t, seq, InlineFn(std::forward<F>(fn), &pool_));
+    else
+      legacy_.push(t, seq, std::function<void()>(std::forward<F>(fn)));
+    note_push();
+  }
+
+  /// Schedules several closures at the *same* timestamp with consecutive
+  /// sequence numbers; they execute in argument order. The NIC delivery
+  /// paths use this where one hardware action completes multiple parties
+  /// at one instant (e.g. shm-notification delivery + local completion);
+  /// the calendar queue locates the target segment once for the batch.
+  template <class... Fs>
+  void post_batch(Time t, Fs&&... fns) {
+    static_assert(sizeof...(Fs) >= 1);
+    if (use_calendar_) {
+      InlineFn batch[] = {InlineFn(std::forward<Fs>(fns), &pool_)...};
+      calendar_.push_batch(t, next_seq_, batch, sizeof...(Fs));
+      next_seq_ += sizeof...(Fs);
+      ++batched_posts_;
+      note_push();
+    } else {
+      (post(t, std::forward<Fs>(fns)), ...);
+    }
+  }
 
   int nranks() const { return static_cast<int>(slots_.size()); }
   RankCtx& rank(int i) { return *slots_[static_cast<std::size_t>(i)].ctx; }
 
+  const SimParams& params() const { return params_; }
+
   std::uint64_t events_executed() const { return events_executed_; }
   std::uint64_t events_posted() const { return next_seq_; }
+
+  // --- Engine-core observability (exported by World::run into obs) ---------
+
+  /// Wall-clock nanoseconds spent inside run() — the denominator of the
+  /// events/sec throughput metric.
+  std::uint64_t run_wall_ns() const { return run_wall_ns_; }
+  /// High-water mark of the pending-event queue.
+  std::size_t queue_high_water() const { return queue_high_water_; }
+  /// Number of post_batch() calls that took the batched path.
+  std::uint64_t batched_posts() const { return batched_posts_; }
+  /// Queue depth sampled at every pop (log2 buckets).
+  const Log2Hist& pop_depth_hist() const { return pop_depth_hist_; }
+  /// Occupancy of the oversized-closure slab pool.
+  const EventPool::Stats& pool_stats() const { return pool_.stats(); }
 
  private:
   friend class RankCtx;
@@ -188,13 +233,44 @@ class Engine {
   void execute_due(Time horizon);  // run events with time <= horizon
   [[noreturn]] void deadlock_dump();
 
+  // --- Event queue (selected once at construction) -------------------------
+  bool queue_empty() const {
+    return use_calendar_ ? calendar_.empty() : legacy_.empty();
+  }
+  std::size_t queue_size() const {
+    return use_calendar_ ? calendar_.size() : legacy_.size();
+  }
+  Time queue_top_time() {
+    return use_calendar_ ? calendar_.top_time() : legacy_.top_time();
+  }
+  void run_one_event();
+  void note_push() {
+    const std::size_t d = queue_size();
+    if (d > queue_high_water_) queue_high_water_ = d;
+  }
+
+  // --- Ready-rank min-heap on (resume_time, id) -----------------------------
+  // A rank appears at most once: it is pushed exactly when it transitions
+  // to kReady and popped when resumed, and resume_time never changes while
+  // it is in the heap (wake() ignores non-blocked ranks), so no
+  // decrease-key is needed.
+  void ready_push(int rank_id, Time t);
+  int ready_pop();
+
+  SimParams params_;
   std::vector<detail::RankSlot> slots_;
-  std::priority_queue<detail::Event, std::vector<detail::Event>,
-                      detail::EventLater>
-      heap_;
-  std::binary_semaphore engine_sem_{0};  // rank -> engine handoff
+  EventPool pool_;  // declared before the queues: events release into it
+  CalendarQueue calendar_;
+  LegacyHeapQueue legacy_;
+  const bool use_calendar_;
+  std::vector<std::pair<Time, int>> ready_;  // binary min-heap
+  std::binary_semaphore engine_sem_{0};      // rank -> engine handoff
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
+  std::uint64_t batched_posts_ = 0;
+  std::uint64_t run_wall_ns_ = 0;
+  std::size_t queue_high_water_ = 0;
+  Log2Hist pop_depth_hist_;
   bool running_ = false;
 };
 

@@ -1,0 +1,37 @@
+// Engine configuration knobs.
+//
+// Like na::NaParams::matcher, the event-queue selection exists so the
+// original implementation stays available for ablation and for the
+// legacy-vs-calendar equivalence property tests: both configurations must
+// produce bit-identical virtual times, event order, and event counts.
+#pragma once
+
+#include <cstdint>
+
+namespace narma::sim {
+
+/// Event-queue implementation selection.
+///
+///  * kCalendar (production): bucketed calendar/ladder queue of pooled
+///    InlineFn events — near-O(1) enqueue for the engine's mostly-monotonic
+///    posting pattern, true move-out pop, no per-event heap allocation for
+///    inline-sized closures (see event_queue.hpp).
+///  * kLegacyHeap: the original binary-heap std::priority_queue of
+///    std::function events, kept for ablation (bench/micro_engine.cpp) and
+///    the equivalence tests. Pays one allocation per posted closure beyond
+///    the std::function small-buffer plus a closure copy on every pop
+///    (priority_queue::top() is const).
+enum class EventQueue : std::uint8_t { kLegacyHeap, kCalendar };
+
+struct SimParams {
+  /// Event-queue implementation (ablation knob; both orders are proven
+  /// equivalent by tests/test_sim_engine_props.cpp).
+  EventQueue event_queue = EventQueue::kCalendar;
+
+  /// Number of calendar buckets (kCalendar only). Each bucket covers one
+  /// slice of the current calendar window; events are sorted only when
+  /// their bucket becomes current. Must be a power of two.
+  std::uint32_t calendar_buckets = 256;
+};
+
+}  // namespace narma::sim
