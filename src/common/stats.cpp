@@ -68,7 +68,9 @@ Summary summarize(const std::vector<double>& xs) {
   s.stddev = stddev(xs);
   s.ci99 = ci_halfwidth(xs, 0.99);
   s.p10 = quantile(xs, 0.10);
+  s.p50 = s.median;
   s.p90 = quantile(xs, 0.90);
+  s.p95 = quantile(xs, 0.95);
   s.p99 = quantile(xs, 0.99);
   return s;
 }

@@ -25,7 +25,9 @@ double ci_halfwidth(const std::vector<double>& xs, double level = 0.99);
 struct Summary {
   std::size_t n = 0;
   double mean = 0, median = 0, min = 0, max = 0, stddev = 0, ci99 = 0;
-  double p10 = 0, p90 = 0, p99 = 0;  // tail quantiles (see quantile())
+  // Tail quantiles (see quantile()); p50 duplicates median for callers that
+  // index the percentile family uniformly.
+  double p10 = 0, p50 = 0, p90 = 0, p95 = 0, p99 = 0;
 };
 
 Summary summarize(const std::vector<double>& xs);

@@ -4,7 +4,30 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/msgtrace.hpp"
+
 namespace narma::na {
+
+namespace {
+
+/// Injection-site shim: samples a message at API entry (before the software
+/// overhead is charged) and returns its MsgId, 0 when untraced.
+obs::MsgId trace_begin(net::Nic& nic, obs::MsgOp op, int target,
+                       std::size_t bytes) {
+  obs::MsgTrace* mt = nic.fabric().msgtrace();
+  if (!mt) return 0;
+  return mt->begin(nic.rank(), op, target,
+                   static_cast<std::uint32_t>(bytes), nic.ctx().now());
+}
+
+/// Issue hop: the op has paid its origin overhead and is handed to the NIC.
+void trace_issue(net::Nic& nic, obs::MsgId mid) {
+  if (mid)
+    nic.fabric().msgtrace()->hop(mid, nic.rank(), obs::HopKind::kIssue,
+                                 nic.ctx().now());
+}
+
+}  // namespace
 
 // ------------------------------------------------------------- SlotPool --
 
@@ -154,7 +177,10 @@ void NaEngine::put_notify(rma::Window& win, std::span<const std::byte> src,
       << "notified-access tag " << tag << " outside the " << net::kTagBits
       << "-bit immediate range (hardware constraint, paper Sec. III-B)";
   net::Nic& nic = router_.nic();
+  const obs::MsgId mid =
+      trace_begin(nic, obs::MsgOp::kPutNotify, target, src.size());
   nic.ctx().advance(params_.t_na);
+  trace_issue(nic, mid);
 
   const std::size_t bytes = src.size();
   const std::uint32_t imm = net::encode_imm(nic.rank(), tag);
@@ -169,6 +195,7 @@ void NaEngine::put_notify(rma::Window& win, std::span<const std::byte> src,
     n.key = win.remote_key(target);
     n.offset = offset;
     n.bytes = static_cast<std::uint32_t>(bytes);
+    n.msg = mid;
     if (params_.enable_shm_inline && bytes <= params_.shm_inline_max) {
       // Inline transfer: the payload rides inside the notification entry
       // and is committed by the target at match time.
@@ -176,7 +203,8 @@ void NaEngine::put_notify(rma::Window& win, std::span<const std::byte> src,
       if (bytes) std::memcpy(n.inline_data.data(), src.data(), bytes);
     } else {
       // Optimized memcpy + fence, then the notification (same channel, so
-      // FIFO delivery guarantees the data is committed first).
+      // FIFO delivery guarantees the data is committed first). The trace
+      // follows the notification leg — the one the consumer waits on.
       n.inline_len = 0;
       nic.put(target, win.remote_key(target), offset, src.data(), bytes, {},
               &win.pending(target));
@@ -186,8 +214,10 @@ void NaEngine::put_notify(rma::Window& win, std::span<const std::byte> src,
   }
 
   // uGNI path: RDMA put with the immediate posted to the destination CQ.
-  nic.put(target, win.remote_key(target), offset, src.data(), bytes,
-          {true, imm, win.id()}, &win.pending(target));
+  net::Nic::NotifyAttr na{true, imm, win.id()};
+  na.msg = mid;
+  nic.put(target, win.remote_key(target), offset, src.data(), bytes, na,
+          &win.pending(target));
 }
 
 void NaEngine::put_notify_strided(rma::Window& win,
@@ -203,7 +233,10 @@ void NaEngine::put_notify_strided(rma::Window& win,
               src.size() >= (nblocks - 1) * src_stride_bytes + block_bytes)
       << "source span smaller than the strided extent";
   net::Nic& nic = router_.nic();
+  const obs::MsgId mid = trace_begin(nic, obs::MsgOp::kPutNotifyStrided,
+                                     target, block_bytes * nblocks);
   nic.ctx().advance(params_.t_na);
+  trace_issue(nic, mid);
   const std::uint32_t imm = net::encode_imm(nic.rank(), tag);
 
   std::vector<net::Nic::IoSegment> segs;
@@ -216,7 +249,9 @@ void NaEngine::put_notify_strided(rma::Window& win,
   // Noncontiguous notified accesses always use the CQE path (one
   // notification for the whole shape); the shm inline optimization only
   // applies to small contiguous payloads.
-  nic.put_iov(target, win.remote_key(target), segs, {true, imm, win.id()},
+  net::Nic::NotifyAttr na{true, imm, win.id()};
+  na.msg = mid;
+  nic.put_iov(target, win.remote_key(target), segs, na,
               &win.pending(target));
 }
 
@@ -225,14 +260,18 @@ void NaEngine::get_notify(rma::Window& win, std::span<std::byte> dst,
   NARMA_CHECK(tag >= 0 && static_cast<std::uint32_t>(tag) <= net::kMaxTag)
       << "notified-access tag " << tag << " outside the immediate range";
   net::Nic& nic = router_.nic();
+  const obs::MsgId mid =
+      trace_begin(nic, obs::MsgOp::kGetNotify, target, dst.size());
   nic.ctx().advance(params_.t_na);
+  trace_issue(nic, mid);
   const std::uint32_t imm = net::encode_imm(nic.rank(), tag);
   // Both inter- and intra-node notified gets use the destination-CQ path:
   // uGNI immediates are available for reads too (unlike InfiniBand, paper
   // Sec. IV-A), and the target polls both queues anyway.
+  net::Nic::NotifyAttr na{true, imm, win.id()};
+  na.msg = mid;
   nic.get(target, win.remote_key(target), win.byte_offset(target_disp),
-          dst.data(), dst.size(), {true, imm, win.id()},
-          &win.pending(target));
+          dst.data(), dst.size(), na, &win.pending(target));
 }
 
 void NaEngine::fetch_add_notify_i64(rma::Window& win, int target,
@@ -240,11 +279,16 @@ void NaEngine::fetch_add_notify_i64(rma::Window& win, int target,
                                     std::int64_t* result, int tag) {
   NARMA_CHECK(tag >= 0 && static_cast<std::uint32_t>(tag) <= net::kMaxTag);
   net::Nic& nic = router_.nic();
+  const obs::MsgId mid = trace_begin(nic, obs::MsgOp::kAtomicNotify, target,
+                                     sizeof(std::int64_t));
   nic.ctx().advance(params_.t_na);
+  trace_issue(nic, mid);
   const std::uint32_t imm = net::encode_imm(nic.rank(), tag);
+  net::Nic::NotifyAttr na{true, imm, win.id()};
+  na.msg = mid;
   nic.atomic(target, win.remote_key(target), win.byte_offset(target_disp),
-             net::Nic::AtomicOp::kAddI64, v, 0, result,
-             {true, imm, win.id()}, &win.pending(target));
+             net::Nic::AtomicOp::kAddI64, v, 0, result, na,
+             &win.pending(target));
 }
 
 void NaEngine::compare_swap_notify_i64(rma::Window& win, int target,
@@ -254,11 +298,16 @@ void NaEngine::compare_swap_notify_i64(rma::Window& win, int target,
                                        std::int64_t* result, int tag) {
   NARMA_CHECK(tag >= 0 && static_cast<std::uint32_t>(tag) <= net::kMaxTag);
   net::Nic& nic = router_.nic();
+  const obs::MsgId mid = trace_begin(nic, obs::MsgOp::kAtomicNotify, target,
+                                     sizeof(std::int64_t));
   nic.ctx().advance(params_.t_na);
+  trace_issue(nic, mid);
   const std::uint32_t imm = net::encode_imm(nic.rank(), tag);
+  net::Nic::NotifyAttr na{true, imm, win.id()};
+  na.msg = mid;
   nic.atomic(target, win.remote_key(target), win.byte_offset(target_disp),
-             net::Nic::AtomicOp::kCasI64, desired, compare, result,
-             {true, imm, win.id()}, &win.pending(target));
+             net::Nic::AtomicOp::kCasI64, desired, compare, result, na,
+             &win.pending(target));
 }
 
 // --- Target side ----------------------------------------------------------------
@@ -313,6 +362,12 @@ void NaEngine::consume(RequestSlot& s, NaStatus& st,
     // that the inline transfer avoids.
     router_.nic().ctx().advance(params_.shm_noninline_commit);
   }
+  if (e.msg) {
+    last_consumed_msg_ = e.msg;
+    if (auto* mt = router_.nic().fabric().msgtrace())
+      mt->hop(e.msg, rank(), obs::HopKind::kMatchHit,
+              router_.nic().ctx().now());
+  }
 }
 
 bool NaEngine::pop_hw(UqEntry& out) {
@@ -329,6 +384,9 @@ bool NaEngine::pop_hw(UqEntry& out) {
   out.seq = next_seq_++;
   c_hw_drained_.inc();
   nic.ctx().advance(params_.cq_poll);
+  if (n.msg)
+    if (auto* mt = nic.fabric().msgtrace())
+      mt->hop(n.msg, rank(), obs::HopKind::kPop, nic.ctx().now());
   return true;
 }
 
@@ -342,6 +400,11 @@ std::size_t NaEngine::drain_hw(std::span<net::HwNotification> out) {
   if (n == 0) return 0;
   c_hw_drained_.inc(n);
   nic.ctx().advance(params_.cq_poll + (n - 1) * params_.cq_poll_batch);
+  if (auto* mt = nic.fabric().msgtrace()) {
+    const Time now = nic.ctx().now();
+    for (std::size_t i = 0; i < n; ++i)
+      if (out[i].msg) mt->hop(out[i].msg, rank(), obs::HopKind::kPop, now);
+  }
   if (cache_) {
     std::uint64_t m = 0;
     for (std::size_t i = 0; i < n; ++i)
@@ -481,6 +544,12 @@ bool NaEngine::test(NotifyRequest& req, NaStatus* status) {
 
   if (s.matched >= s.expected) {
     nic.ctx().advance(params_.o_r);
+    if (last_consumed_msg_) {
+      if (auto* mt = nic.fabric().msgtrace())
+        mt->hop(last_consumed_msg_, rank(), obs::HopKind::kWakeup,
+                nic.ctx().now());
+      last_consumed_msg_ = 0;
+    }
     if (status) *status = req.status_;
     return true;
   }

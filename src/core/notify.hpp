@@ -359,6 +359,10 @@ class NaEngine {
 
   net::MsgRouter& router_;
   NaParams params_;
+  /// MsgId of the most recently consumed traced notification; the completing
+  /// test() attributes its wakeup hop to it (and clears it). RequestSlot is
+  /// pinned at 32 bytes, so this lives on the engine, not the slot.
+  std::uint64_t last_consumed_msg_ = 0;
   // Legacy linear matcher state: the UQ header (head index into the deque)
   // is modeled as one cache line together with the first entries, per the
   // paper's layout argument.

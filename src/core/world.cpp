@@ -25,7 +25,9 @@ World::World(int nranks, WorldParams params)
                    ? std::make_unique<obs::Registry>(nranks)
                    : nullptr),
       fabric_(std::make_unique<net::Fabric>(*engine_, params.fabric,
-                                            metrics_.get())) {}
+                                            metrics_.get())) {
+  if (params_.obs.msgtrace) enable_msgtrace();
+}
 
 World::~World() = default;
 

@@ -27,6 +27,8 @@
 #include "mp/endpoint.hpp"
 #include "net/fabric.hpp"
 #include "obs/metrics.hpp"
+#include "obs/msgtrace.hpp"
+#include "obs/params.hpp"
 #include "rma/window.hpp"
 #include "sim/engine.hpp"
 
@@ -48,6 +50,12 @@ struct WorldParams {
   /// plus a plain add on the rank's own thread, and metric reads never
   /// advance virtual time, so timing results are identical either way.
   bool enable_metrics = true;
+
+  /// Causal message tracing (src/obs/msgtrace). Off by default; flip
+  /// `obs.msgtrace = true` (or call World::enable_msgtrace()) to record
+  /// per-message lifecycle hops. Hooks only read clocks, so virtual times
+  /// are bit-identical with tracing on or off.
+  obs::ObsParams obs;
 
   /// Convenience preset: all ranks on one node (shared-memory transport),
   /// as in the paper's intra-node experiments (Fig. 3c).
@@ -97,12 +105,31 @@ class World {
     return metrics_ && metrics_->write_json(path);
   }
 
+  /// Turns on causal message tracing (call before run()). `sample_every`
+  /// overrides ObsParams::msgtrace_sample_every when nonzero (1 = trace
+  /// every message).
+  void enable_msgtrace(std::uint64_t sample_every = 0) {
+    if (sample_every) params_.obs.msgtrace_sample_every = sample_every;
+    params_.obs.msgtrace = true;
+    if (!msgtrace_)
+      msgtrace_ = std::make_unique<obs::MsgTrace>(engine_->nranks(),
+                                                  params_.obs);
+    fabric_->set_msgtrace(msgtrace_.get());
+  }
+  obs::MsgTrace* msgtrace() { return msgtrace_.get(); }
+  /// Writes the narma.msgtrace.v1 JSON dump (see DESIGN.md Sec. 9); false
+  /// when msgtrace is disabled or the file cannot be written.
+  bool dump_msgtrace(const std::string& path) const {
+    return msgtrace_ && msgtrace_->write_json(path);
+  }
+
  private:
   WorldParams params_;
   std::unique_ptr<sim::Engine> engine_;
   std::unique_ptr<obs::Registry> metrics_;  // before fabric_: Nics bind here
   std::unique_ptr<net::Fabric> fabric_;
   std::unique_ptr<sim::Tracer> tracer_;
+  std::unique_ptr<obs::MsgTrace> msgtrace_;
 };
 
 /// Per-rank handle. Constructed by World::run on the rank's own thread;

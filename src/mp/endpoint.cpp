@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/msgtrace.hpp"
+
 namespace narma::mp {
 
 namespace {
@@ -46,6 +48,15 @@ Request Endpoint::isend(const void* buf, std::size_t bytes, int dst, int tag) {
   NARMA_CHECK(tag >= 0 && tag < kMaxUserTag + 0x4000) << "tag out of range";
   NARMA_CHECK(dst >= 0 && dst < nranks()) << "bad destination " << dst;
   auto& ctx = router_.nic().ctx();
+  obs::MsgTrace* mt = router_.nic().fabric().msgtrace();
+  obs::MsgId mid = 0;
+  if (mt) {
+    const obs::MsgOp op = (dst == rank() || bytes <= params_.eager_threshold)
+                              ? obs::MsgOp::kEagerSend
+                              : obs::MsgOp::kRdzvSend;
+    mid = mt->begin(rank(), op, dst, static_cast<std::uint32_t>(bytes),
+                    ctx.now());
+  }
   ctx.advance(params_.o_send);
 
   auto req = std::make_shared<detail::ReqState>();
@@ -64,6 +75,12 @@ Request Endpoint::isend(const void* buf, std::size_t bytes, int dst, int tag) {
     u.payload.resize(bytes);
     if (bytes) std::memcpy(u.payload.data(), buf, bytes);
     u.time = ctx.now();
+    u.msg = mid;
+    if (mid) {
+      // No wire leg: the staged copy is both issue and delivery.
+      mt->hop(mid, rank(), obs::HopKind::kIssue, ctx.now());
+      mt->hop(mid, rank(), obs::HopKind::kDeliver, ctx.now());
+    }
     unexpected_.push_back(std::move(u));
     match_newest_unexpected();
     sample_queue_depths();
@@ -79,12 +96,14 @@ Request Endpoint::isend(const void* buf, std::size_t bytes, int dst, int tag) {
     // Sender-side staging copy into NIC buffers; after it, the user buffer
     // is reusable and the send is locally complete (buffered semantics).
     ctx.advance(copy_cost(params_, bytes));
+    if (mid) mt->hop(mid, rank(), obs::HopKind::kIssue, ctx.now());
     net::NetMsg m;
     m.kind = msgkind::kEager;
     m.h0 = static_cast<std::uint64_t>(tag);
     m.h1 = bytes;
     m.payload.resize(bytes);
     if (bytes) std::memcpy(m.payload.data(), buf, bytes);
+    m.msg = mid;
     router_.nic().send_msg(dst, std::move(m));
     req->done = true;
   } else {
@@ -92,11 +111,13 @@ Request Endpoint::isend(const void* buf, std::size_t bytes, int dst, int tag) {
     c_sends_rdzv_.inc();
     req->send_op_id = next_op_id_++;
     rdzv_sends_[req->send_op_id] = req;
+    if (mid) mt->hop(mid, rank(), obs::HopKind::kIssue, ctx.now());
     net::NetMsg m;
     m.kind = msgkind::kRts;
     m.h0 = static_cast<std::uint64_t>(tag);
     m.h1 = bytes;
     m.h2 = req->send_op_id;
+    m.msg = mid;
     router_.nic().send_msg(dst, std::move(m));
   }
   return req;
@@ -123,9 +144,10 @@ Request Endpoint::irecv(void* buf, std::size_t capacity, int src, int tag) {
     if (!envelope_matches(src, tag, it->src, it->tag)) continue;
     ctx.advance(params_.o_match);
     if (it->is_rts) {
-      answer_rts(req, it->src, it->tag, it->bytes, it->send_op_id);
+      answer_rts(req, it->src, it->tag, it->bytes, it->send_op_id, it->msg);
     } else {
-      deliver_eager(*req, it->src, it->tag, std::move(it->payload), it->time);
+      deliver_eager(*req, it->src, it->tag, std::move(it->payload), it->time,
+                    it->msg);
     }
     unexpected_.erase(it);
     sample_queue_depths();
@@ -138,7 +160,8 @@ Request Endpoint::irecv(void* buf, std::size_t capacity, int src, int tag) {
 }
 
 void Endpoint::deliver_eager(detail::ReqState& r, int src, int tag,
-                             std::vector<std::byte>&& payload, Time arrival) {
+                             std::vector<std::byte>&& payload, Time arrival,
+                             std::uint64_t msg) {
   NARMA_CHECK(payload.size() <= r.bytes)
       << "eager message of " << payload.size()
       << " bytes overflows receive buffer of " << r.bytes << " (rank "
@@ -150,10 +173,16 @@ void Endpoint::deliver_eager(detail::ReqState& r, int src, int tag,
   if (!payload.empty()) std::memcpy(r.rbuf, payload.data(), payload.size());
   r.status = Status{src, tag, payload.size()};
   r.done = true;
+  if (msg) {
+    r.msg = msg;
+    if (auto* mt = router_.nic().fabric().msgtrace())
+      mt->hop(msg, rank(), obs::HopKind::kMatchHit, ctx.now());
+  }
 }
 
 void Endpoint::answer_rts(const Request& req, int src, int tag,
-                          std::size_t bytes, std::uint64_t send_op_id) {
+                          std::size_t bytes, std::uint64_t send_op_id,
+                          std::uint64_t msg) {
   detail::ReqState& r = *req;
   NARMA_CHECK(bytes <= r.bytes)
       << "rendezvous message of " << bytes
@@ -164,10 +193,17 @@ void Endpoint::answer_rts(const Request& req, int src, int tag,
   r.status = Status{src, tag, bytes};
   r.rdzv_key = router_.nic().register_memory(r.rbuf, bytes);
   r.data_arrival.issued = 1;
+  if (msg) {
+    // The envelope has matched; what remains is the CTS/DATA round trip.
+    r.msg = msg;
+    if (auto* mt = router_.nic().fabric().msgtrace())
+      mt->hop(msg, rank(), obs::HopKind::kMatchHit, ctx.now());
+  }
   net::NetMsg m;
   m.kind = msgkind::kCts;
   m.h0 = send_op_id;
   m.h1 = r.rdzv_key;
+  m.msg = msg;
   // Receiver-side delivery tracker, incremented by the target NIC when the
   // payload commits (the ReqState is shared_ptr-stable). Simulator license:
   // in a real system this is the memory handle's completion event.
@@ -185,9 +221,9 @@ void Endpoint::match_newest_unexpected() {
     posted_.erase(it);
     router_.nic().ctx().advance(params_.o_match);
     if (u.is_rts) {
-      answer_rts(req, u.src, u.tag, u.bytes, u.send_op_id);
+      answer_rts(req, u.src, u.tag, u.bytes, u.send_op_id, u.msg);
     } else {
-      deliver_eager(*req, u.src, u.tag, std::move(u.payload), u.time);
+      deliver_eager(*req, u.src, u.tag, std::move(u.payload), u.time, u.msg);
     }
     unexpected_.pop_back();
     sample_queue_depths();
@@ -204,7 +240,7 @@ void Endpoint::handle_eager(net::NetMsg&& m) {
     Request& r = *it;
     if (!envelope_matches(r->peer, r->tag, m.src, tag)) continue;
     router_.nic().ctx().advance(params_.o_match);
-    deliver_eager(*r, m.src, tag, std::move(m.payload), m.time);
+    deliver_eager(*r, m.src, tag, std::move(m.payload), m.time, m.msg);
     posted_.erase(it);
     sample_queue_depths();
     return;
@@ -215,6 +251,7 @@ void Endpoint::handle_eager(net::NetMsg&& m) {
   u.bytes = m.h1;
   u.payload = std::move(m.payload);
   u.time = m.time;
+  u.msg = m.msg;
   unexpected_.push_back(std::move(u));
   sample_queue_depths();
 }
@@ -227,7 +264,7 @@ void Endpoint::handle_rts(net::NetMsg&& m) {
     Request req = *it;
     posted_.erase(it);
     router_.nic().ctx().advance(params_.o_match);
-    answer_rts(req, m.src, tag, m.h1, m.h2);
+    answer_rts(req, m.src, tag, m.h1, m.h2, m.msg);
     sample_queue_depths();
     return;
   }
@@ -238,6 +275,7 @@ void Endpoint::handle_rts(net::NetMsg&& m) {
   u.bytes = m.h1;
   u.send_op_id = m.h2;
   u.time = m.time;
+  u.msg = m.msg;
   unexpected_.push_back(std::move(u));
   sample_queue_depths();
 }
@@ -253,11 +291,15 @@ void Endpoint::handle_cts(net::NetMsg&& m) {
   ctx.advance_to(m.time);
   ctx.advance(params_.o_rts);
   req->cts_received = true;
+  if (m.msg)
+    if (auto* mt = router_.nic().fabric().msgtrace())
+      mt->hop(m.msg, rank(), obs::HopKind::kIssue, ctx.now());
   // RDMA the payload straight into the receiver's registered buffer; the
   // receiver's NIC raises its delivery completion when the data commits.
   net::Nic::NotifyAttr attr;
   attr.remote_delivered =
       reinterpret_cast<net::PendingOps*>(m.h2);
+  attr.msg = m.msg;
   router_.nic().put(m.src, static_cast<net::MemKey>(m.h1), 0, req->sbuf,
                     req->bytes, attr, &req->put_pending);
 }
@@ -274,8 +316,12 @@ void Endpoint::handle_cts_async(net::NetMsg&& m) {
 
   router_.nic().ctx().advance(params_.o_rts);
   req->cts_received = true;
+  if (m.msg)
+    if (auto* mt = router_.nic().fabric().msgtrace())
+      mt->hop(m.msg, rank(), obs::HopKind::kIssue, m.time + params_.o_rts);
   net::Nic::NotifyAttr attr;
   attr.remote_delivered = reinterpret_cast<net::PendingOps*>(m.h2);
+  attr.msg = m.msg;
   router_.nic().put_at(m.time + params_.o_rts, m.src,
                        static_cast<net::MemKey>(m.h1), 0, req->sbuf,
                        req->bytes, attr, &req->put_pending);
@@ -297,10 +343,18 @@ bool Endpoint::is_complete(detail::ReqState& r) {
   return false;
 }
 
+void Endpoint::note_wakeup(detail::ReqState& r) {
+  if (!r.msg) return;
+  if (auto* mt = router_.nic().fabric().msgtrace())
+    mt->hop(r.msg, rank(), obs::HopKind::kWakeup, router_.nic().ctx().now());
+  r.msg = 0;
+}
+
 bool Endpoint::test(const Request& req, Status* status) {
   NARMA_CHECK(req != nullptr);
   router_.progress();
   if (!is_complete(*req)) return false;
+  note_wakeup(*req);
   if (status) *status = req->status;
   return true;
 }
@@ -308,6 +362,7 @@ bool Endpoint::test(const Request& req, Status* status) {
 void Endpoint::wait(const Request& req, Status* status) {
   NARMA_CHECK(req != nullptr);
   router_.wait_progress([&] { return is_complete(*req); }, "mp-wait");
+  note_wakeup(*req);
   if (status) *status = req->status;
 }
 

@@ -49,6 +49,9 @@ struct ReqState {
   int peer = kAnySource;
   int tag = kAnyTag;
   std::size_t bytes = 0;  // send size / recv capacity
+  /// obs::MsgId of the matched incoming message (recv side); consumed by
+  /// the first completion observation, which records the wakeup hop.
+  std::uint64_t msg = 0;
 
   // recv
   void* rbuf = nullptr;
@@ -71,6 +74,7 @@ struct Unexpected {
   std::uint64_t send_op_id = 0;       // rendezvous only
   std::vector<std::byte> payload;     // eager only
   Time time = 0;
+  std::uint64_t msg = 0;  // obs::MsgId of the sender's operation
 };
 
 }  // namespace detail
@@ -128,10 +132,14 @@ class Endpoint {
 
   /// Completes a posted receive with an eager payload.
   void deliver_eager(detail::ReqState& r, int src, int tag,
-                     std::vector<std::byte>&& payload, Time arrival);
+                     std::vector<std::byte>&& payload, Time arrival,
+                     std::uint64_t msg);
   /// Answers an RTS for a posted receive with a CTS.
   void answer_rts(const Request& req, int src, int tag, std::size_t bytes,
-                  std::uint64_t send_op_id);
+                  std::uint64_t send_op_id, std::uint64_t msg);
+  /// Records the consumer-wakeup hop the first time a traced receive's
+  /// completion is observed by the application.
+  void note_wakeup(detail::ReqState& r);
   /// Matches the most recently queued unexpected message against the posted
   /// receives (used by self-sends, which bypass the mailbox).
   void match_newest_unexpected();

@@ -1,6 +1,7 @@
 #include "net/fabric.hpp"
 
 #include "net/nic.hpp"
+#include "obs/msgtrace.hpp"
 
 namespace narma::net {
 
@@ -40,7 +41,7 @@ Nic& Fabric::nic(int rank) {
 
 Time Fabric::reserve_transfer(int src, int dst, Time t_issue,
                               std::size_t bytes, Transport transport,
-                              ChannelClass cls) {
+                              ChannelClass cls, std::uint64_t msg) {
   const TransportTiming& tt = params_.timing(transport);
   Channel& c = chan(src, dst, cls);
   const Time start = std::max(t_issue, c.next_free);
@@ -49,6 +50,11 @@ Time Fabric::reserve_transfer(int src, int dst, Time t_issue,
   const Time inject_end = start + serialization;
   c.next_free = inject_end;
   const Time deliver = inject_end + tt.L;
+  if (msg && msgtrace_) {
+    msgtrace_->hop(msg, src, obs::HopKind::kChanStart, start);
+    msgtrace_->hop(msg, src, obs::HopKind::kGapEnd, start + tt.g);
+    msgtrace_->hop(msg, src, obs::HopKind::kSerEnd, inject_end);
+  }
   counters_.bytes_on_wire += bytes;
   if (!rank_metrics_.empty()) {
     RankNetMetrics& m = rank_metrics_[static_cast<std::size_t>(src)];

@@ -28,6 +28,10 @@
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
 
+namespace narma::obs {
+class MsgTrace;
+}
+
 namespace narma::net {
 
 class Nic;
@@ -67,9 +71,12 @@ class Fabric {
   /// `bytes` from `src` to `dst` issued at virtual time `t_issue` and
   /// returns its delivery time — without scheduling anything. Callers that
   /// need several events at the delivery instant (e.g. the NIC's
-  /// shm-notification path) pair this with Engine::post_batch.
+  /// shm-notification path) pair this with Engine::post_batch. A nonzero
+  /// `msg` records the channel-stage hops (chan_start / gap_end / ser_end)
+  /// for that sampled message; delivery hops are recorded at commit sites.
   Time reserve_transfer(int src, int dst, Time t_issue, std::size_t bytes,
-                        Transport transport, ChannelClass cls);
+                        Transport transport, ChannelClass cls,
+                        std::uint64_t msg = 0);
 
   /// Schedules a channel-serialized transfer of `bytes` from `src` to `dst`
   /// issued at virtual time `t_issue`; `on_deliver` runs at the delivery
@@ -78,10 +85,10 @@ class Fabric {
   /// an intermediate std::function allocation.
   template <class F>
   Time schedule_transfer(int src, int dst, Time t_issue, std::size_t bytes,
-                         Transport transport, ChannelClass cls,
-                         F&& on_deliver) {
+                         Transport transport, ChannelClass cls, F&& on_deliver,
+                         std::uint64_t msg = 0) {
     const Time deliver =
-        reserve_transfer(src, dst, t_issue, bytes, transport, cls);
+        reserve_transfer(src, dst, t_issue, bytes, transport, cls, msg);
     engine_.post(deliver,
                  [fn = std::forward<F>(on_deliver), deliver] { fn(deliver); });
     return deliver;
@@ -97,6 +104,11 @@ class Fabric {
 
   /// Optional metrics registry (attached at construction).
   obs::Registry* metrics() const { return metrics_; }
+
+  /// Optional causal message trace; nullptr (default) disables all hop
+  /// recording (one branch per hook, never advances virtual time).
+  obs::MsgTrace* msgtrace() const { return msgtrace_; }
+  void set_msgtrace(obs::MsgTrace* mt) { msgtrace_ = mt; }
 
  private:
   struct Channel {
@@ -125,6 +137,7 @@ class Fabric {
   FabricCounters counters_;
   sim::Tracer* tracer_ = nullptr;
   obs::Registry* metrics_ = nullptr;
+  obs::MsgTrace* msgtrace_ = nullptr;
   std::vector<RankNetMetrics> rank_metrics_;  // one per rank; empty if off
 };
 

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "obs/msgtrace.hpp"
+
 namespace narma::net {
 
 Nic::Nic(Fabric& fabric, sim::RankCtx& ctx)
@@ -63,9 +65,12 @@ std::byte* Nic::resolve(MemKey key, std::uint64_t offset, std::size_t bytes) {
 
 std::size_t Nic::pop_hw_batch(std::span<HwNotification> out) {
   std::size_t n = 0;
+  const Time now = ctx_.now();
   while (n < out.size()) {
-    const bool has_cq = !dest_cq_.empty();
-    const bool has_ring = !shm_ring_.empty();
+    // Entries stamped in this rank's future stay queued (their delivery
+    // events ran early during another rank's drain); see next_pending_time.
+    const bool has_cq = !dest_cq_.empty() && dest_cq_.front().time <= now;
+    const bool has_ring = !shm_ring_.empty() && shm_ring_.front().time <= now;
     if (!has_cq && !has_ring) break;
     // Merge by arrival time (ties: CQ first) so the consumer observes the
     // same global order a single merged hardware queue would produce.
@@ -81,6 +86,7 @@ std::size_t Nic::pop_hw_batch(std::span<HwNotification> out) {
       o.window = c.window;
       o.bytes = c.bytes;
       o.time = c.time;
+      o.msg = c.msg;
     } else {
       o.queue_slot = &shm_ring_.front();
       const ShmNotification s = shm_ring_.pop();
@@ -88,6 +94,7 @@ std::size_t Nic::pop_hw_batch(std::span<HwNotification> out) {
       o.window = s.window;
       o.bytes = s.bytes;
       o.time = s.time;
+      o.msg = s.msg;
       o.from_shm = true;
       o.key = s.key;
       o.offset = s.offset;
@@ -112,6 +119,9 @@ void Nic::push_cqe(const Cqe& cqe) {
       << "); like uGNI, CQ overflow is fatal — size the queue or consume "
          "notifications faster";
   ++fabric_.counters().notifications;
+  if (cqe.msg)
+    if (auto* mt = fabric_.msgtrace())
+      mt->hop(cqe.msg, rank(), obs::HopKind::kDeliver, cqe.time);
   g_dest_cq_depth_.set(static_cast<std::int64_t>(dest_cq_.size()), cqe.time);
   progress_.notify(fabric_.engine(), cqe.time);
 }
@@ -120,11 +130,19 @@ void Nic::push_shm(const ShmNotification& n) {
   NARMA_CHECK(shm_ring_.try_push(n))
       << "shared-memory notification ring overflow at rank " << rank();
   ++fabric_.counters().notifications;
+  if (n.msg)
+    if (auto* mt = fabric_.msgtrace())
+      mt->hop(n.msg, rank(), obs::HopKind::kDeliver, n.time);
   g_shm_ring_depth_.set(static_cast<std::int64_t>(shm_ring_.size()), n.time);
   progress_.notify(fabric_.engine(), n.time);
 }
 
 void Nic::push_msg(NetMsg msg) {
+  // Recorded before the delivery hook: a hook-consumed message (async
+  // progression) is delivered at this instant too.
+  if (msg.msg)
+    if (auto* mt = fabric_.msgtrace())
+      mt->hop(msg.msg, rank(), obs::HopKind::kDeliver, msg.time);
   if (delivery_hook_ && delivery_hook_(std::move(msg))) return;
   const Time t = msg.time;
   NARMA_CHECK(mailbox_.try_push(std::move(msg)))
@@ -164,7 +182,7 @@ void Nic::put_at(Time issue, int target, MemKey key, std::uint64_t offset,
   const int src_rank = rank();
   const Time deliver = fabric_.schedule_transfer(
       src_rank, target, issue, bytes, tr, Fabric::ChannelClass::kData,
-      [tgt, key, offset, src, bytes, na](Time t) {
+      [tgt, target, key, offset, src, bytes, na](Time t) {
         if (bytes > 0) {
           std::byte* dst = tgt->resolve(key, offset, bytes);
           std::memcpy(dst, src, bytes);
@@ -173,17 +191,25 @@ void Nic::put_at(Time issue, int target, MemKey key, std::uint64_t offset,
           // calls support zero-byte payloads, notification only).
           (void)tgt->resolve(key, offset, 0);
         }
-        if (na.notify)
+        if (na.notify) {
           tgt->push_cqe(Cqe{CqeKind::kPutNotify, na.imm,
-                            static_cast<std::uint32_t>(bytes), na.window, t});
+                            static_cast<std::uint32_t>(bytes), na.window, t,
+                            na.msg});
+        } else if (na.msg) {
+          // Plain put: the lifecycle's delivery hop is the data commit.
+          if (auto* mt = tgt->fabric_.msgtrace())
+            mt->hop(na.msg, target, obs::HopKind::kDeliver, t);
+        }
         if (na.remote_delivered) {
           ++na.remote_delivered->completed;
           tgt->progress_.notify(tgt->fabric_.engine(), t);
         }
-      });
+      },
+      na.msg);
   if (auto* tracer = fabric_.tracer())
     tracer->flow(src_rank, target, "rdma",
-                 "put " + std::to_string(bytes) + "B", issue, deliver);
+                 "put " + std::to_string(bytes) + "B", issue, deliver,
+                 na.msg ? obs::MsgTrace::flow_id(na.msg) : 0);
   post_ack(src_rank, deliver, tr, pending);
 }
 
@@ -204,25 +230,31 @@ void Nic::put_iov(int target, MemKey key,
   std::vector<IoSegment> segs(segments.begin(), segments.end());
   const Time deliver = fabric_.schedule_transfer(
       src_rank, target, ctx_.now(), total, tr, Fabric::ChannelClass::kData,
-      [tgt, key, segs = std::move(segs), na, total](Time t) {
+      [tgt, target, key, segs = std::move(segs), na, total](Time t) {
         for (const auto& s : segs) {
           if (s.bytes == 0) continue;
           std::byte* dst = tgt->resolve(key, s.offset, s.bytes);
           std::memcpy(dst, s.src, s.bytes);
         }
-        if (na.notify)
+        if (na.notify) {
           tgt->push_cqe(Cqe{CqeKind::kPutNotify, na.imm,
-                            static_cast<std::uint32_t>(total), na.window,
-                            t});
+                            static_cast<std::uint32_t>(total), na.window, t,
+                            na.msg});
+        } else if (na.msg) {
+          if (auto* mt = tgt->fabric_.msgtrace())
+            mt->hop(na.msg, target, obs::HopKind::kDeliver, t);
+        }
         if (na.remote_delivered) {
           ++na.remote_delivered->completed;
           tgt->progress_.notify(tgt->fabric_.engine(), t);
         }
-      });
+      },
+      na.msg);
   if (auto* tracer = fabric_.tracer())
     tracer->flow(src_rank, target, "rdma",
                  "put_iov " + std::to_string(segments.size()) + "x",
-                 ctx_.now(), deliver);
+                 ctx_.now(), deliver,
+                 na.msg ? obs::MsgTrace::flow_id(na.msg) : 0);
   post_ack(src_rank, deliver, tr, pending);
 }
 
@@ -257,17 +289,26 @@ void Nic::get(int target, MemKey key, std::uint64_t offset, void* dst,
         if (na.notify)
           tgt->push_cqe(Cqe{CqeKind::kGetNotify, na.imm,
                             static_cast<std::uint32_t>(bytes), na.window,
-                            t_req});
+                            t_req, na.msg});
         ++self->fabric_.counters().responses;
+        // A notified get's consumer path ends at the target CQ; a plain
+        // get's lifecycle follows the response leg back to the origin.
+        const std::uint64_t resp_msg = na.notify ? 0 : na.msg;
         self->fabric_.schedule_transfer(
             target, origin, t_req, bytes, tr, Fabric::ChannelClass::kResp,
-            [self, wire = std::move(wire), dst, bytes, pending](Time t_resp) {
+            [self, origin, wire = std::move(wire), dst, bytes, pending,
+             resp_msg](Time t_resp) {
               if (bytes > 0) std::memcpy(dst, wire->data(), bytes);
+              if (resp_msg)
+                if (auto* mt = self->fabric_.msgtrace())
+                  mt->hop(resp_msg, origin, obs::HopKind::kDeliver, t_resp);
               if (pending) ++pending->completed;
               self->g_src_pending_.add(-1, t_resp);
               self->progress_.notify(self->fabric_.engine(), t_resp);
-            });
-      });
+            },
+            resp_msg);
+      },
+      na.msg);
 }
 
 void Nic::atomic(int target, MemKey key, std::uint64_t offset, AtomicOp op,
@@ -308,18 +349,24 @@ void Nic::atomic(int target, MemKey key, std::uint64_t offset, AtomicOp op,
         const Time t_done = t_req + exec_cost;
         if (na.notify)
           tgt->push_cqe(Cqe{CqeKind::kAtomicNotify, na.imm,
-                            sizeof(std::int64_t), na.window, t_done});
+                            sizeof(std::int64_t), na.window, t_done, na.msg});
         ++self->fabric_.counters().responses;
+        const std::uint64_t resp_msg = na.notify ? 0 : na.msg;
         self->fabric_.schedule_transfer(
             target, origin, t_done, sizeof(std::int64_t), tr,
             Fabric::ChannelClass::kResp,
-            [self, result, old, pending](Time t_resp) {
+            [self, origin, result, old, pending, resp_msg](Time t_resp) {
               if (result) *result = old;
+              if (resp_msg)
+                if (auto* mt = self->fabric_.msgtrace())
+                  mt->hop(resp_msg, origin, obs::HopKind::kDeliver, t_resp);
               if (pending) ++pending->completed;
               self->g_src_pending_.add(-1, t_resp);
               self->progress_.notify(self->fabric_.engine(), t_resp);
-            });
-      });
+            },
+            resp_msg);
+      },
+      na.msg);
 }
 
 // --- Control messages ---------------------------------------------------------
@@ -332,6 +379,7 @@ void Nic::send_msg(int target, NetMsg msg) {
   ++fabric_.counters().ctrl_transfers;
   msg.src = rank();
   const std::uint32_t kind = msg.kind;
+  const std::uint64_t mid = msg.msg;
   auto shared = std::make_shared<NetMsg>(std::move(msg));
   const Time issue = ctx_.now();
   const Time deliver = fabric_.schedule_transfer(
@@ -339,10 +387,12 @@ void Nic::send_msg(int target, NetMsg msg) {
       [tgt, shared](Time t) {
         shared->time = t;
         tgt->push_msg(std::move(*shared));
-      });
+      },
+      mid);
   if (auto* tracer = fabric_.tracer())
     tracer->flow(rank(), target, "ctrl",
-                 "msg kind=0x" + std::to_string(kind), issue, deliver);
+                 "msg kind=0x" + std::to_string(kind), issue, deliver,
+                 mid ? obs::MsgTrace::flow_id(mid) : 0);
 }
 
 // --- Shared-memory notification ring ------------------------------------------
@@ -358,11 +408,12 @@ void Nic::send_shm_notification(int target, ShmNotification n,
   // One cache line on the intra-node interconnect. Delivery at the target
   // and local completion (coherent shared memory completes at delivery)
   // happen at the same instant, so both are posted as one event batch.
-  const Time deliver =
-      fabric_.reserve_transfer(rank(), target, ctx_.now(), 64,
-                               Transport::kShm, Fabric::ChannelClass::kData);
+  const Time deliver = fabric_.reserve_transfer(
+      rank(), target, ctx_.now(), 64, Transport::kShm,
+      Fabric::ChannelClass::kData, n.msg);
   if (auto* tracer = fabric_.tracer())
-    tracer->flow(rank(), target, "shm", "notification", ctx_.now(), deliver);
+    tracer->flow(rank(), target, "shm", "notification", ctx_.now(), deliver,
+                 n.msg ? obs::MsgTrace::flow_id(n.msg) : 0);
   Nic* self = this;
   fabric_.engine().post_batch(
       deliver,

@@ -21,8 +21,10 @@
 // attributes to it.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstring>
+#include <limits>
 #include <span>
 
 #include "common/ring_buffer.hpp"
@@ -68,6 +70,10 @@ class Nic {
     /// at the target. Models receiver-NIC completions (e.g. RDMA write
     /// with immediate); the two-sided rendezvous protocol uses it.
     PendingOps* remote_delivered = nullptr;
+    /// obs::MsgId of the originating operation (0 = untraced). Simulator
+    /// metadata only: rides along so the channel stages and delivery can
+    /// record lifecycle hops; never affects timing.
+    std::uint64_t msg = 0;
   };
 
   /// Nonblocking RDMA write of the caller's buffer into (target, key,
@@ -146,7 +152,43 @@ class Nic {
   /// global arrival order. Returns the number of entries written. Pure data
   /// movement: polling overheads are charged by the protocol layer, which
   /// can amortize them over the whole batch (one test() drains many CQEs).
+  /// Only entries whose arrival time is <= the rank's clock are visible:
+  /// delivery events execute whenever *any* rank drains past them, so the
+  /// queues can hold entries stamped in this rank's future, and surfacing
+  /// those early would let a lagging consumer observe a notification before
+  /// it physically arrived.
   std::size_t pop_hw_batch(std::span<HwNotification> out);
+
+  /// Sentinel returned by next_pending_time() when no inbound queue holds an
+  /// entry in the rank's future.
+  static constexpr Time kNoPending = std::numeric_limits<Time>::max();
+
+  /// Earliest arrival time strictly after `now` across the inbound queues
+  /// (destination CQ, shm ring, mailbox), or kNoPending when there is none.
+  /// Such an entry's delivery event has already executed — its trigger
+  /// notify fired — so a waiter must bound its sleep with
+  /// RankCtx::wait_deadline instead of blocking on the trigger alone.
+  /// Already-due entries are skipped: they wake nobody, and a waiter that
+  /// could consume them would have done so before blocking (they may belong
+  /// to a different protocol layer than the one waiting). Scans the queues,
+  /// whose entries are not strictly time-sorted; called only on the slow
+  /// block path.
+  Time next_pending_time(Time now) const {
+    Time t = kNoPending;
+    for (std::size_t i = 0; i < dest_cq_.size(); ++i) {
+      const Time e = dest_cq_.peek(i).time;
+      if (e > now) t = std::min(t, e);
+    }
+    for (std::size_t i = 0; i < shm_ring_.size(); ++i) {
+      const Time e = shm_ring_.peek(i).time;
+      if (e > now) t = std::min(t, e);
+    }
+    for (std::size_t i = 0; i < mailbox_.size(); ++i) {
+      const Time e = mailbox_.peek(i).time;
+      if (e > now) t = std::min(t, e);
+    }
+    return t;
+  }
 
   /// Installs a delivery hook invoked (in event context) for every incoming
   /// control message; returning true consumes the message instead of
@@ -163,7 +205,13 @@ class Nic {
   template <class Pred>
   void wait_until(Pred pred, const char* label) {
     ctx_.drain();
-    while (!pred()) ctx_.wait(progress_, label);
+    while (!pred()) {
+      const Time due = next_pending_time(ctx_.now());
+      if (due != kNoPending)
+        ctx_.wait_deadline(progress_, due, label);
+      else
+        ctx_.wait(progress_, label);
+    }
   }
 
   /// Waits for all operations tracked by `po` to complete.

@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "net/nic.hpp"
+#include "obs/msgtrace.hpp"
 
 namespace narma::net {
 
@@ -52,9 +53,18 @@ class MsgRouter {
   /// mailbox message to its handler.
   void progress() {
     nic_.ctx().drain();
-    const bool drained = !nic_.mailbox().empty();
-    while (!nic_.mailbox().empty()) {
+    bool drained = false;
+    // Same visibility rule as Nic::pop_hw_batch: a message stamped in this
+    // rank's future stays queued until the clock catches up (handlers may
+    // advance the clock, so the front is re-tested every iteration).
+    while (!nic_.mailbox().empty() &&
+           nic_.mailbox().front().time <= nic_.ctx().now()) {
+      drained = true;
       NetMsg msg = nic_.mailbox().pop();
+      if (msg.msg)
+        if (auto* mt = nic_.fabric().msgtrace())
+          mt->hop(msg.msg, nic_.rank(), obs::HopKind::kPop,
+                  nic_.ctx().now());
       auto it = handlers_.find(msg.kind);
       NARMA_CHECK(it != handlers_.end())
           << "no handler for message kind 0x" << std::hex << msg.kind
@@ -69,7 +79,13 @@ class MsgRouter {
   void wait_progress(Pred pred, const char* label) {
     progress();
     while (!pred()) {
-      nic_.ctx().wait(nic_.progress(), label);
+      // A queue entry in this rank's future means its delivery notify has
+      // already fired; bound the sleep so the entry is consumed on time.
+      const Time due = nic_.next_pending_time(nic_.ctx().now());
+      if (due != Nic::kNoPending)
+        nic_.ctx().wait_deadline(nic_.progress(), due, label);
+      else
+        nic_.ctx().wait(nic_.progress(), label);
       progress();
     }
   }

@@ -44,6 +44,7 @@ struct Cqe {
   std::uint32_t bytes;  // payload size of the triggering access
   std::uint64_t window; // protocol-layer cookie (window id)
   Time time;            // virtual delivery time
+  std::uint64_t msg = 0;  // obs::MsgId of the originating op (0 = untraced)
 };
 
 /// Shared-memory notification ring entry (the XPMEM-like path, paper
@@ -58,6 +59,7 @@ struct ShmNotification {
   std::uint8_t inline_len;  // bytes carried inline (0 = data already placed)
   std::array<std::byte, 32> inline_data;
   Time time;
+  std::uint64_t msg = 0;  // obs::MsgId of the originating op (0 = untraced)
 };
 
 constexpr std::size_t kShmInlineCapacity =
@@ -82,6 +84,7 @@ struct HwNotification {
   /// the cache model charge the queue's lines without the NIC knowing
   /// about the cache simulator.
   const void* queue_slot = nullptr;
+  std::uint64_t msg = 0;  // obs::MsgId of the originating op (0 = untraced)
 };
 
 /// Small typed control message (mailbox entry). The protocol layers define
@@ -93,6 +96,7 @@ struct NetMsg {
   std::uint64_t h0 = 0, h1 = 0, h2 = 0, h3 = 0;
   std::vector<std::byte> payload;
   Time time = 0;
+  std::uint64_t msg = 0;  // obs::MsgId of the originating op (0 = untraced)
 };
 
 /// Completion tracking for nonblocking one-sided operations. The issuing

@@ -1,0 +1,25 @@
+// Observability-layer parameters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace narma::obs {
+
+struct ObsParams {
+  /// Master enable for causal message tracing (src/obs/msgtrace). Off by
+  /// default: World::enable_msgtrace() flips it before run(), narma_cli
+  /// exposes it as --msgtrace=FILE. Recording never advances virtual time,
+  /// so instrumented and bare runs are cycle-identical either way.
+  bool msgtrace = false;
+
+  /// Sample every Nth injected message per rank (1 = trace everything).
+  /// Unsampled messages carry MsgId 0 and cost exactly one branch per hook.
+  std::uint64_t msgtrace_sample_every = 1;
+
+  /// Hop records retained per rank (ring buffer; oldest overwritten).
+  /// 1<<16 records x 32 B = 2 MiB per rank.
+  std::size_t msgtrace_ring_capacity = 1 << 16;
+};
+
+}  // namespace narma::obs

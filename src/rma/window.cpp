@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "mp/collectives.hpp"
+#include "obs/msgtrace.hpp"
 
 namespace narma::rma {
 
@@ -11,6 +12,23 @@ namespace {
 constexpr std::uint32_t kPscwKind = 0x0201;
 constexpr std::uint64_t kSubPost = 0;
 constexpr std::uint64_t kSubComplete = 1;
+
+// Lifecycle-trace helpers: begin() snapshots the injection instant before
+// the API overhead is charged; trace_issue() marks the post-overhead handoff
+// to the NIC. Both only read the clock.
+obs::MsgId trace_begin(net::Nic& nic, obs::MsgOp op, int target,
+                       std::size_t bytes) {
+  obs::MsgTrace* mt = nic.fabric().msgtrace();
+  if (!mt) return 0;
+  return mt->begin(nic.rank(), op, target, static_cast<std::uint32_t>(bytes),
+                   nic.ctx().now());
+}
+
+void trace_issue(net::Nic& nic, obs::MsgId mid) {
+  if (mid)
+    nic.fabric().msgtrace()->hop(mid, nic.rank(), obs::HopKind::kIssue,
+                                 nic.ctx().now());
+}
 }  // namespace
 
 // -------------------------------------------------------------- WinManager --
@@ -119,17 +137,24 @@ Window::~Window() {
 
 void Window::put(const void* src, std::size_t bytes, int target,
                  std::uint64_t target_disp) {
+  const obs::MsgId mid = trace_begin(nic(), obs::MsgOp::kPut, target, bytes);
   router_.nic().ctx().advance(mgr_.params().o_put);
+  trace_issue(nic(), mid);
   mgr_.c_puts_.inc();
+  net::Nic::NotifyAttr attr;
+  attr.msg = mid;
   nic().put(target, remote_key(target), byte_offset(target_disp), src, bytes,
-            {}, &pending(target));
+            attr, &pending(target));
 }
 
 void Window::put_strided(const void* src, std::size_t block_bytes,
                          std::size_t nblocks, std::size_t src_stride_bytes,
                          int target, std::uint64_t target_disp,
                          std::uint64_t target_stride) {
+  const obs::MsgId mid = trace_begin(nic(), obs::MsgOp::kPutStrided, target,
+                                     block_bytes * nblocks);
   router_.nic().ctx().advance(mgr_.params().o_put);
+  trace_issue(nic(), mid);
   mgr_.c_puts_.inc();
   std::vector<net::Nic::IoSegment> segs;
   segs.reserve(nblocks);
@@ -138,43 +163,65 @@ void Window::put_strided(const void* src, std::size_t block_bytes,
     segs.push_back({byte_offset(target_disp + b * target_stride),
                     base + b * src_stride_bytes, block_bytes});
   }
-  nic().put_iov(target, remote_key(target), segs, {}, &pending(target));
+  net::Nic::NotifyAttr attr;
+  attr.msg = mid;
+  nic().put_iov(target, remote_key(target), segs, attr, &pending(target));
 }
 
 void Window::get(void* dst, std::size_t bytes, int target,
                  std::uint64_t target_disp) {
+  const obs::MsgId mid = trace_begin(nic(), obs::MsgOp::kGet, target, bytes);
   router_.nic().ctx().advance(mgr_.params().o_put);
+  trace_issue(nic(), mid);
   mgr_.c_gets_.inc();
+  net::Nic::NotifyAttr attr;
+  attr.msg = mid;
   nic().get(target, remote_key(target), byte_offset(target_disp), dst, bytes,
-            {}, &pending(target));
+            attr, &pending(target));
 }
 
 void Window::fetch_add_i64(int target, std::uint64_t target_disp,
                            std::int64_t v, std::int64_t* result) {
+  const obs::MsgId mid =
+      trace_begin(nic(), obs::MsgOp::kAtomic, target, sizeof(std::int64_t));
   router_.nic().ctx().advance(mgr_.params().o_atomic);
+  trace_issue(nic(), mid);
   mgr_.c_atomics_.inc();
+  net::Nic::NotifyAttr attr;
+  attr.msg = mid;
   nic().atomic(target, remote_key(target), byte_offset(target_disp),
-               net::Nic::AtomicOp::kAddI64, v, 0, result, {},
+               net::Nic::AtomicOp::kAddI64, v, 0, result, attr,
                &pending(target));
 }
 
 void Window::fetch_add_f64(int target, std::uint64_t target_disp, double v,
                            double* result) {
+  const obs::MsgId mid =
+      trace_begin(nic(), obs::MsgOp::kAtomic, target, sizeof(double));
   router_.nic().ctx().advance(mgr_.params().o_atomic);
+  trace_issue(nic(), mid);
   mgr_.c_atomics_.inc();
+  net::Nic::NotifyAttr attr;
+  attr.msg = mid;
   // The NIC's atomic unit is 8 bytes; reinterpret through the result slot.
   nic().atomic(target, remote_key(target), byte_offset(target_disp),
                net::Nic::AtomicOp::kAddF64, std::bit_cast<std::int64_t>(v), 0,
-               reinterpret_cast<std::int64_t*>(result), {}, &pending(target));
+               reinterpret_cast<std::int64_t*>(result), attr,
+               &pending(target));
 }
 
 void Window::compare_swap_i64(int target, std::uint64_t target_disp,
                               std::int64_t compare, std::int64_t desired,
                               std::int64_t* result) {
+  const obs::MsgId mid =
+      trace_begin(nic(), obs::MsgOp::kAtomic, target, sizeof(std::int64_t));
   router_.nic().ctx().advance(mgr_.params().o_atomic);
+  trace_issue(nic(), mid);
   mgr_.c_atomics_.inc();
+  net::Nic::NotifyAttr attr;
+  attr.msg = mid;
   nic().atomic(target, remote_key(target), byte_offset(target_disp),
-               net::Nic::AtomicOp::kCasI64, desired, compare, result, {},
+               net::Nic::AtomicOp::kCasI64, desired, compare, result, attr,
                &pending(target));
 }
 

@@ -51,6 +51,26 @@ void RankCtx::wait(Trigger& trg, const char* label) {
   drain();
 }
 
+void RankCtx::wait_deadline(Trigger& trg, Time deadline, const char* label) {
+  NARMA_ASSERT(deadline >= clock_);
+  const Time c0 = clock_;
+  trg.waiters_.push_back(id_);
+  auto& s = engine_->slot(id_);
+  s.state = detail::RankState::kBlocked;
+  s.resume_time = deadline;
+  s.block_label = label;
+  // The timeout entry coexists with a possible wake(): whichever fires first
+  // resumes the rank; the loser becomes a stale heap entry that the engine
+  // skips (Engine::run checks state and resume_time before resuming). The
+  // trigger registration is not unwound on timeout — a later notify then
+  // produces a spurious wakeup, which every wait site tolerates by
+  // re-checking its predicate.
+  engine_->ready_push(id_, deadline);
+  engine_->yield_to_engine(id_);
+  blocked_ += clock_ - c0;
+  drain();
+}
+
 // ----------------------------------------------------------------- Engine --
 
 Engine::Engine(int nranks, SimParams params)
@@ -106,7 +126,10 @@ void Engine::wake(int rank_id, Time t) {
   // blocked ranks transition (and enter the ready heap).
   if (s.state != detail::RankState::kBlocked) return;
   s.state = detail::RankState::kReady;
-  s.resume_time = std::max(s.ctx->now(), t);
+  // A rank parked in wait_deadline() already holds a timeout (resume_time <
+  // kNever); a notify stamped later than the deadline must not push the
+  // resume past it — the rank wakes at whichever comes first.
+  s.resume_time = std::min(s.resume_time, std::max(s.ctx->now(), t));
   ready_push(rank_id, s.resume_time);
 }
 
@@ -163,7 +186,17 @@ void Engine::run(const std::function<void(RankCtx&)>& rank_main) {
 
     if (!have_rank) deadlock_dump();
 
+    const Time t = ready_.front().first;
     detail::RankSlot& s = slot(ready_pop());
+    // A rank parked in wait_deadline() owns two potential heap entries: the
+    // timeout (state kBlocked, resume_time == deadline) and, if the trigger
+    // fired first, the wake (state kReady). Resume only the entry that still
+    // matches the slot; the other is stale and is dropped here.
+    const bool timeout_due =
+        s.state == detail::RankState::kBlocked && s.resume_time == t;
+    const bool ready_due =
+        s.state == detail::RankState::kReady && s.resume_time == t;
+    if (!timeout_due && !ready_due) continue;
     resume_rank(s);
     if (s.state == detail::RankState::kFinished) --unfinished;
   }

@@ -135,6 +135,15 @@ class RankCtx {
   /// Blocks until `trg` is notified. Re-check your predicate in a loop.
   void wait(Trigger& trg, const char* label);
 
+  /// Blocks until `trg` is notified OR virtual time `deadline` arrives,
+  /// whichever is earlier. Re-check your predicate in a loop; wakeups can
+  /// be spurious (the trigger registration persists past a timeout).
+  /// Communication layers use this when an inbound queue already holds an
+  /// entry stamped in this rank's future (see Nic::next_pending_time): the
+  /// delivery event has executed, so its notify can no longer be awaited,
+  /// but an unrelated earlier notify must still wake the rank on time.
+  void wait_deadline(Trigger& trg, Time deadline, const char* label);
+
   /// Virtual time this rank has spent blocked or sleeping (wait /
   /// yield_until), i.e. clock advances not caused by explicit charges.
   /// busy = now() - blocked_time(); the metrics layer exports both.

@@ -9,10 +9,10 @@ namespace {
 
 /// Minimal JSON string escaping (names are library-generated; quotes and
 /// backslashes are the realistic risks).
-std::string escape(const std::string& s) {
+std::string escape(const char* s) {
   std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
+  for (; *s; ++s) {
+    const char c = *s;
     if (c == '"' || c == '\\') out.push_back('\\');
     if (static_cast<unsigned char>(c) < 0x20) {
       out += ' ';

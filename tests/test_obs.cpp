@@ -189,6 +189,73 @@ TEST(ObsWorld, TracedRunEmitsGaugeCounterTracks) {
   EXPECT_NE(json.find("net.dest_cq_depth (rank 1)"), std::string::npos);
 }
 
+// Full round trip: dump_metrics -> file -> json reader -> every family and
+// cell equals the live registry. Guards the exporter against silently
+// dropping or mangling values the report tool would then mis-rank.
+TEST(ObsWorld, DumpRoundTripsAgainstLiveRegistry) {
+  World world(2);
+  run_small_exchange(world);
+  const obs::Registry& reg = *world.metrics();
+
+  const std::string path = "obs_roundtrip_test.json";
+  ASSERT_TRUE(world.dump_metrics(path));
+  const json::ParseResult doc = json::parse_file(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(doc.ok) << doc.error;
+
+  const std::vector<std::string> live = reg.names();
+  const json::Array& metrics = doc.value["metrics"].as_array();
+  ASSERT_EQ(metrics.size(), live.size());
+
+  std::set<std::string> dumped;
+  for (const json::Value& m : metrics) {
+    const std::string name = m.string_or("name", "");
+    dumped.insert(name);
+    ASSERT_TRUE(reg.has(name)) << "dump invented metric " << name;
+    const std::string kind = m.string_or("kind", "");
+    const json::Array& per_rank = m["per_rank"].as_array();
+    ASSERT_EQ(per_rank.size(), 2u) << name;
+    for (const json::Value& cell : per_rank) {
+      const int rank = static_cast<int>(cell.number_or("rank", -1));
+      if (kind == "counter") {
+        EXPECT_EQ(cell.number_or("value", -1),
+                  static_cast<double>(reg.counter_value(name, rank)))
+            << name;
+      } else if (kind == "gauge") {
+        EXPECT_EQ(cell.number_or("value", -1),
+                  static_cast<double>(reg.gauge_value(name, rank)))
+            << name;
+        EXPECT_EQ(cell.number_or("high_water", -1),
+                  static_cast<double>(reg.gauge_high_water(name, rank)))
+            << name;
+      } else if (kind == "histogram") {
+        const obs::HistData* h = reg.hist_data(name, rank);
+        ASSERT_NE(h, nullptr) << name;
+        EXPECT_EQ(cell.number_or("count", -1),
+                  static_cast<double>(h->count)) << name;
+        EXPECT_EQ(cell.number_or("sum", -1), static_cast<double>(h->sum))
+            << name;
+        EXPECT_EQ(cell.number_or("min", -1), static_cast<double>(h->min))
+            << name;
+        EXPECT_EQ(cell.number_or("max", -1), static_cast<double>(h->max))
+            << name;
+        // Dumped buckets are exactly the non-empty ones, and they cover
+        // every recorded sample.
+        double bucket_total = 0;
+        for (const json::Value& b : cell["buckets"].as_array()) {
+          EXPECT_GT(b.number_or("count", 0), 0.0) << name;
+          bucket_total += b.number_or("count", 0);
+        }
+        EXPECT_EQ(bucket_total, static_cast<double>(h->count)) << name;
+      } else {
+        FAIL() << "unknown kind '" << kind << "' for " << name;
+      }
+    }
+  }
+  for (const std::string& n : live)
+    EXPECT_TRUE(dumped.count(n)) << "dump dropped metric " << n;
+}
+
 TEST(ObsWorld, DisabledMetricsStillRuns) {
   WorldParams wp;
   wp.enable_metrics = false;

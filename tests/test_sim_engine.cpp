@@ -151,6 +151,30 @@ TEST(SimEngine, TriggerWakesAllWaiters) {
   EXPECT_EQ(woken.load(), 3);
 }
 
+TEST(SimEngine, WaitDeadlineTimesOutAtDeadline) {
+  sim::Engine eng(1);
+  sim::Trigger trg;
+  eng.run([&](sim::RankCtx& r) {
+    // Nobody notifies; the rank resumes exactly at the deadline.
+    r.wait_deadline(trg, us(5), "deadline-only");
+    EXPECT_EQ(r.now(), us(5));
+  });
+}
+
+TEST(SimEngine, WaitDeadlineWakesEarlyOnNotify) {
+  sim::Engine eng(1);
+  sim::Trigger trg;
+  eng.run([&](sim::RankCtx& r) {
+    r.engine().post(us(1), [&] { trg.notify(r.engine(), us(1)); });
+    r.wait_deadline(trg, us(10), "deadline-or-notify");
+    // The notify wins; the stale timeout heap entry must not resume the
+    // rank a second time nor advance it to us(10).
+    EXPECT_EQ(r.now(), us(1));
+    r.yield_until(us(20));
+    EXPECT_EQ(r.now(), us(20));
+  });
+}
+
 TEST(SimEngine, ChargeMeasuredAddsTime) {
   sim::Engine eng(1);
   eng.run([&](sim::RankCtx& r) {

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <map>
 #include <string>
 
+#include "common/json.hpp"
 #include "core/world.hpp"
 #include "sim/trace.hpp"
 
@@ -66,6 +68,46 @@ TEST(Trace, JsonContainsExpectedCategoriesAndShape) {
     EXPECT_GE(depth, 0);
   }
   EXPECT_EQ(depth, 0);
+}
+
+// Chrome/Perfetto flow semantics: every flow start (ph:"s") needs a flow end
+// (ph:"f") with the same id, and the end must bind to the enclosing slice
+// ("bp":"e") or the arrow is dropped by the renderer. Checked on the parsed
+// document, not by substring: the shape has regressed silently before.
+TEST(Trace, FlowEventsPairUpAndBindEnclosing) {
+  std::size_t events = 0;
+  const json::ParseResult doc = json::parse(run_traced(&events));
+  ASSERT_TRUE(doc.ok) << doc.error;
+  std::map<std::int64_t, int> starts, ends;
+  for (const json::Value& e : doc.value["traceEvents"].as_array()) {
+    const std::string ph = e.string_or("ph", "");
+    if (ph != "s" && ph != "f") continue;
+    const json::Value& id = e["id"];
+    ASSERT_TRUE(id.is_number()) << "flow event without numeric id";
+    // Flow events ride a real slice: tid/pid/ts all present.
+    EXPECT_TRUE(e["pid"].is_number());
+    EXPECT_TRUE(e["tid"].is_number());
+    EXPECT_TRUE(e["ts"].is_number());
+    if (ph == "s") {
+      ++starts[id.as_int()];
+    } else {
+      ++ends[id.as_int()];
+      EXPECT_EQ(e.string_or("bp", ""), "e")
+          << "flow end " << id.as_int() << " lacks bp:e";
+    }
+  }
+  EXPECT_FALSE(starts.empty());
+  EXPECT_EQ(starts, ends);  // same ids, same multiplicity
+}
+
+TEST(Trace, DynamicNamesAreInterned) {
+  sim::Tracer t(1);
+  for (int i = 0; i < 100; ++i)
+    t.instant(0, "test", std::string("probe ") + std::to_string(i % 4),
+              us(i + 1));
+  // 100 events, 4 distinct dynamic strings stored.
+  EXPECT_EQ(t.event_count(), 100u);
+  EXPECT_EQ(t.interned_count(), 4u);
 }
 
 TEST(Trace, DisabledByDefault) {

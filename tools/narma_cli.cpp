@@ -72,21 +72,39 @@ int usage() {
       "  tree      --variant=na|mp|pscw|vendor --ranks=N --arity=K\n"
       "            --elems=E --reps=R\n"
       "  cholesky  --variant=na|mp|os --ranks=N --nt=T --b=B [--gflops=G]\n"
-      "  report    --trace=FILE [--metrics=FILE] [--topk=N]\n"
-      "            summarize a recorded run: per-category virtual time,\n"
-      "            longest spans, per-rank busy fractions\n"
+      "  report    --trace=FILE [--metrics=FILE] [--top=N]\n"
+      "            summarize a recorded run: per-category virtual time\n"
+      "            (with p50/p95 span durations), longest spans, per-rank\n"
+      "            busy fractions\n"
+      "  critpath  --msgtrace=FILE [--top=N]\n"
+      "            analyze a causal message trace: critical-path category\n"
+      "            breakdown, per-rank share, slowest messages, per-\n"
+      "            category latency statistics\n"
       "\n"
-      "common:     [--trace=FILE]    write a Chrome trace of the run\n"
-      "            [--metrics=FILE]  write the metrics registry dump\n",
+      "common:     [--trace=FILE]     write a Chrome trace of the run\n"
+      "            [--metrics=FILE]   write the metrics registry dump\n"
+      "            [--msgtrace=FILE]  write the causal message trace\n"
+      "            [--msgtrace-sample=N]  trace every Nth message (default 1)\n",
       stderr);
   return 2;
 }
 
-/// Writes the requested artifacts of a finished run (trace + metrics).
+/// Enables the observability sinks a run asked for (call before run()).
+void enable_observability(World& world, const Args& a) {
+  if (a.kv.count("trace")) world.enable_tracing();
+  if (a.kv.count("msgtrace"))
+    world.enable_msgtrace(
+        static_cast<std::uint64_t>(a.get("msgtrace-sample", 0)));
+}
+
+/// Writes the requested artifacts of a finished run (trace + metrics +
+/// msgtrace).
 void dump_artifacts(World& world, const Args& a) {
   if (a.kv.count("trace")) world.dump_trace(a.get("trace", "trace.json"));
   if (a.kv.count("metrics"))
     world.dump_metrics(a.get("metrics", "metrics.json"));
+  if (a.kv.count("msgtrace"))
+    world.dump_msgtrace(a.get("msgtrace", "msgtrace.json"));
 }
 
 // --- report ------------------------------------------------------------------
@@ -97,7 +115,8 @@ int run_report(const Args& a) {
     return 2;
   }
   const std::string trace_path = a.get("trace", "trace.json");
-  const auto topk = static_cast<std::size_t>(a.get("topk", 10));
+  // --top is the documented spelling; --topk stays as a fallback.
+  const auto topk = static_cast<std::size_t>(a.get("top", a.get("topk", 10)));
 
   const json::ParseResult doc = json::parse_file(trace_path);
   if (!doc.ok) {
@@ -120,6 +139,7 @@ int run_report(const Args& a) {
   struct CatAgg {
     std::uint64_t spans = 0;
     double total_us = 0;
+    std::vector<double> durs_us;
   };
   std::vector<Span> spans;
   std::map<std::string, CatAgg> by_cat;
@@ -140,6 +160,7 @@ int run_report(const Args& a) {
     CatAgg& agg = by_cat[s.cat];
     ++agg.spans;
     agg.total_us += s.dur_us;
+    agg.durs_us.push_back(s.dur_us);
     rank_span_us[rank] += s.dur_us;
     rank_end_us[rank] =
         std::max(rank_end_us[rank], s.ts_us + s.dur_us);
@@ -160,12 +181,18 @@ int run_report(const Args& a) {
   const double rank_time_us =
       trace_end_us * static_cast<double>(std::max<std::size_t>(
                          rank_end_us.size(), 1));
-  Table cat_table({"category", "spans", "total_ms", "% of rank-time"});
+  Table cat_table(
+      {"category", "spans", "total_ms", "p50_us", "p95_us", "% of rank-time"});
   double traced_total_us = 0;
+  std::vector<double> all_durs_us;
   for (const auto& [cat, agg] : by_cat) {
     traced_total_us += agg.total_us;
+    all_durs_us.insert(all_durs_us.end(), agg.durs_us.begin(),
+                       agg.durs_us.end());
     cat_table.add_row({cat, Table::fmt(static_cast<std::size_t>(agg.spans)),
                        Table::fmt(agg.total_us / 1e3),
+                       Table::fmt(stats::quantile(agg.durs_us, 0.50)),
+                       Table::fmt(stats::quantile(agg.durs_us, 0.95)),
                        Table::fmt(rank_time_us > 0
                                       ? 100.0 * agg.total_us / rank_time_us
                                       : 0.0,
@@ -174,6 +201,12 @@ int run_report(const Args& a) {
   cat_table.add_row({"(all)",
                      Table::fmt(spans.size()),
                      Table::fmt(traced_total_us / 1e3),
+                     Table::fmt(all_durs_us.empty()
+                                    ? 0.0
+                                    : stats::quantile(all_durs_us, 0.50)),
+                     Table::fmt(all_durs_us.empty()
+                                    ? 0.0
+                                    : stats::quantile(all_durs_us, 0.95)),
                      Table::fmt(rank_time_us > 0
                                     ? 100.0 * traced_total_us / rank_time_us
                                     : 0.0,
@@ -245,6 +278,157 @@ int run_report(const Args& a) {
   return 0;
 }
 
+// --- critpath ----------------------------------------------------------------
+
+/// The latency categories of the narma.msgtrace.v1 decomposition, in the
+/// same order MsgTrace emits them (see src/obs/msgtrace.hpp).
+constexpr const char* kLatCats[] = {"src_overhead", "chan_queue", "gap",
+                                    "ser",          "wire",       "blocked",
+                                    "match",        "local"};
+
+int run_critpath(const Args& a) {
+  if (!a.kv.count("msgtrace")) {
+    std::fputs("critpath: --msgtrace=FILE is required\n", stderr);
+    return 2;
+  }
+  const std::string path = a.get("msgtrace", "msgtrace.json");
+  const auto topk = static_cast<std::size_t>(a.get("top", 10));
+
+  const json::ParseResult doc = json::parse_file(path);
+  if (!doc.ok) {
+    std::fprintf(stderr, "critpath: %s: %s (offset %zu)\n", path.c_str(),
+                 doc.error.c_str(), doc.error_pos);
+    return 1;
+  }
+  if (doc.value.string_or("schema", "") != "narma.msgtrace.v1") {
+    std::fprintf(stderr, "critpath: %s: unknown msgtrace schema '%s'\n",
+                 path.c_str(), doc.value.string_or("schema", "").c_str());
+    return 1;
+  }
+
+  const json::Array& messages = doc.value["messages"].as_array();
+  std::printf(
+      "msgtrace %s: %d ranks, sample_every=%lld, %lld injected / %lld "
+      "sampled / %lld hop records dropped, %zu messages\n",
+      path.c_str(), static_cast<int>(doc.value.number_or("nranks", 0)),
+      static_cast<long long>(doc.value.number_or("sample_every", 1)),
+      static_cast<long long>(doc.value.number_or("injections", 0)),
+      static_cast<long long>(doc.value.number_or("sampled", 0)),
+      static_cast<long long>(doc.value.number_or("dropped", 0)),
+      messages.size());
+
+  // Decomposition identity across all complete messages: per-message
+  // category times must sum exactly to the end-to-end latency (all values
+  // are integer picoseconds, so the check is exact).
+  std::size_t complete = 0, violations = 0;
+  std::map<std::string, std::vector<double>> cat_lat_us;
+  struct Msg {
+    std::string op;
+    int src, dst;
+    double bytes, lat_us;
+    std::string top_cat;
+    double top_cat_us;
+    long long flow_id;
+  };
+  std::vector<Msg> msgs;
+  for (const json::Value& m : messages) {
+    if (!m["complete"].as_bool()) continue;
+    ++complete;
+    const json::Value& d = m["decomp_ps"];
+    double sum_ps = 0;
+    std::string top_cat = "-";
+    double top_ps = -1;
+    for (const char* cat : kLatCats) {
+      const double v = d.number_or(cat, 0);
+      sum_ps += v;
+      if (v > 0) cat_lat_us[cat].push_back(v / 1e6);
+      if (v > top_ps) {
+        top_ps = v;
+        top_cat = cat;
+      }
+    }
+    if (sum_ps != m.number_or("latency_ps", 0)) ++violations;
+    msgs.push_back({m.string_or("op", "?"),
+                    static_cast<int>(m.number_or("src", -1)),
+                    static_cast<int>(m.number_or("dst", -1)),
+                    m.number_or("bytes", 0), m.number_or("latency_ps", 0) / 1e6,
+                    top_cat, top_ps / 1e6,
+                    static_cast<long long>(m.number_or("flow_id", 0))});
+  }
+  std::printf("decomposition identity: %zu complete messages, %zu violations%s\n",
+              complete, violations, violations ? " [FAIL]" : " [ok]");
+
+  // Critical path: category breakdown and per-rank share.
+  const json::Value& cp = doc.value["critical_path"];
+  const double span_ps = cp.number_or("span_ps", 0);
+  std::printf("\ncritical path: %.3f us across %zu messages (t=%.3f..%.3f us)\n",
+              span_ps / 1e6, cp["messages"].as_array().size(),
+              cp.number_or("t_begin_ps", 0) / 1e6,
+              cp.number_or("t_end_ps", 0) / 1e6);
+  Table cp_table({"category", "time_us", "% of path"});
+  double cp_sum_ps = 0;
+  for (const char* cat : kLatCats) {
+    const double v = cp["decomp_ps"].number_or(cat, 0);
+    cp_sum_ps += v;
+    cp_table.add_row({cat, Table::fmt(v / 1e6),
+                      Table::fmt(span_ps > 0 ? 100.0 * v / span_ps : 0.0, 1)});
+  }
+  cp_table.add_row({"(sum)", Table::fmt(cp_sum_ps / 1e6),
+                    Table::fmt(span_ps > 0 ? 100.0 * cp_sum_ps / span_ps : 0.0,
+                               1)});
+  cp_table.print();
+
+  const json::Value& per_rank = cp["per_rank_ps"];
+  if (per_rank.is_array() && span_ps > 0) {
+    Table rank_table({"rank", "path_time_us", "% of path"});
+    const json::Array& pr = per_rank.as_array();
+    for (std::size_t r = 0; r < pr.size(); ++r) {
+      const double v = pr[r].as_number();
+      if (v <= 0) continue;
+      rank_table.add_row({Table::fmt(static_cast<long long>(r)),
+                          Table::fmt(v / 1e6),
+                          Table::fmt(100.0 * v / span_ps, 1)});
+    }
+    std::printf("\ncritical-path share per rank:\n");
+    rank_table.print();
+  }
+
+  // Per-category latency statistics across complete messages.
+  Table stat_table({"category", "msgs", "mean_us", "p50_us", "p95_us",
+                    "max_us"});
+  for (const char* cat : kLatCats) {
+    auto it = cat_lat_us.find(cat);
+    if (it == cat_lat_us.end()) continue;
+    const std::vector<double>& xs = it->second;
+    stat_table.add_row({cat, Table::fmt(xs.size()),
+                        Table::fmt(stats::mean(xs)),
+                        Table::fmt(stats::quantile(xs, 0.50)),
+                        Table::fmt(stats::quantile(xs, 0.95)),
+                        Table::fmt(stats::max(xs))});
+  }
+  std::printf("\nper-category latency across messages:\n");
+  stat_table.print();
+
+  // Top-k slowest messages.
+  std::sort(msgs.begin(), msgs.end(),
+            [](const Msg& x, const Msg& y) { return x.lat_us > y.lat_us; });
+  // flow_id lets the reader jump from a row to the matching Perfetto flow
+  // arrow in the --trace output (same id namespace).
+  Table top_table({"op", "src", "dst", "bytes", "latency_us", "dominant",
+                   "dom_us", "flow_id"});
+  for (std::size_t i = 0; i < std::min(topk, msgs.size()); ++i) {
+    const Msg& m = msgs[i];
+    top_table.add_row({m.op, Table::fmt(static_cast<long long>(m.src)),
+                       Table::fmt(static_cast<long long>(m.dst)),
+                       Table::fmt(static_cast<long long>(m.bytes)),
+                       Table::fmt(m.lat_us), m.top_cat,
+                       Table::fmt(m.top_cat_us), Table::fmt(m.flow_id)});
+  }
+  std::printf("\ntop %zu slowest messages:\n", std::min(topk, msgs.size()));
+  top_table.print();
+  return violations ? 1 : 0;
+}
+
 int run_pingpong(const Args& a) {
   const int ranks = static_cast<int>(a.get("ranks", 2));
   const std::size_t bytes = static_cast<std::size_t>(a.get("bytes", 8));
@@ -255,7 +439,7 @@ int run_pingpong(const Args& a) {
   WorldParams wp;
   if (a.kv.count("intranode")) wp.fabric.ranks_per_node = ranks;
   World world(2, wp);
-  if (a.kv.count("trace")) world.enable_tracing();
+  enable_observability(world, a);
 
   std::vector<double> samples;
   world.run([&](Rank& self) {
@@ -335,7 +519,7 @@ int run_stencil(const Args& a) {
                 : v == "pscw"  ? apps::StencilVariant::kPscw
                                : apps::StencilVariant::kNotified;
   World world(ranks);
-  if (a.kv.count("trace")) world.enable_tracing();
+  enable_observability(world, a);
   apps::StencilResult res;
   world.run([&](Rank& self) {
     const auto r = apps::run_stencil(self, cfg);
@@ -361,7 +545,7 @@ int run_tree(const Args& a) {
                 : v == "vendor" ? apps::TreeVariant::kVendorReduce
                                 : apps::TreeVariant::kNotified;
   World world(ranks);
-  if (a.kv.count("trace")) world.enable_tracing();
+  enable_observability(world, a);
   apps::TreeResult res;
   world.run([&](Rank& self) {
     const auto r = apps::run_tree(self, cfg);
@@ -387,7 +571,7 @@ int run_cholesky(const Args& a) {
                 : v == "os" ? apps::CholeskyVariant::kOneSided
                             : apps::CholeskyVariant::kNotified;
   World world(ranks);
-  if (a.kv.count("trace")) world.enable_tracing();
+  enable_observability(world, a);
   apps::CholeskyResult res;
   world.run([&](Rank& self) {
     const auto r = apps::run_cholesky(self, cfg);
@@ -411,5 +595,6 @@ int main(int argc, char** argv) {
   if (a.command == "tree") return run_tree(a);
   if (a.command == "cholesky") return run_cholesky(a);
   if (a.command == "report") return run_report(a);
+  if (a.command == "critpath") return run_critpath(a);
   return usage();
 }
