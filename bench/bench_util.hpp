@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/env.hpp"
+#include "common/fatal.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "narma/narma.hpp"
@@ -102,11 +103,20 @@ struct JsonSink {
   }
 
  private:
-  JsonSink() = default;
+  // Registered as a crash hook so a NARMA_CHECK abort mid-sweep still writes
+  // the tables recorded so far (fatal_exit runs the hooks before abort).
+  static void crash_flush(void* self) {
+    static_cast<const JsonSink*>(self)->flush();
+  }
+
+  JsonSink() { register_crash_hook(&crash_flush, this); }
   // Flushed when the function-local static dies at normal exit; an atexit
   // callback registered from the ctor would instead run *after* that
   // destructor and read freed strings.
-  ~JsonSink() { flush(); }
+  ~JsonSink() {
+    unregister_crash_hook(&crash_flush, this);
+    flush();
+  }
 };
 
 }  // namespace detail

@@ -17,6 +17,11 @@
 
 namespace narma::detail {
 
+// Defined in common/fatal.cpp: flushes registered crash hooks (bench sink,
+// metrics dumps, tracers) before aborting, so a failed check still leaves
+// telemetry on disk.
+[[noreturn]] void fatal_exit() noexcept;
+
 [[noreturn]] inline void check_failed(const char* kind, const char* expr,
                                       const char* file, int line,
                                       const std::string& msg) {
@@ -24,7 +29,7 @@ namespace narma::detail {
                line);
   if (!msg.empty()) std::fprintf(stderr, "  %s\n", msg.c_str());
   std::fflush(stderr);
-  std::abort();
+  fatal_exit();
 }
 
 // Builds the optional streamed message of NARMA_CHECK(cond) << "detail".

@@ -1,0 +1,66 @@
+#include "common/fatal.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+namespace narma {
+
+namespace {
+
+struct HookEntry {
+  CrashHook fn;
+  void* arg;
+};
+
+// Plain function-local static: hooks are registered from component
+// constructors and the registry must outlive every one of them.
+std::vector<HookEntry>& hooks() {
+  static std::vector<HookEntry> v;
+  return v;
+}
+
+bool g_running_hooks = false;
+
+}  // namespace
+
+void register_crash_hook(CrashHook fn, void* arg) {
+  if (fn) hooks().push_back({fn, arg});
+}
+
+void unregister_crash_hook(CrashHook fn, void* arg) {
+  auto& v = hooks();
+  for (std::size_t i = v.size(); i-- > 0;) {
+    if (v[i].fn == fn && v[i].arg == arg) {
+      v.erase(v.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+void run_crash_hooks() noexcept {
+  if (g_running_hooks) return;  // a hook itself failed: do not recurse
+  g_running_hooks = true;
+  auto& v = hooks();
+  for (std::size_t i = v.size(); i-- > 0;) v[i].fn(v[i].arg);
+  g_running_hooks = false;
+}
+
+[[noreturn]] void fatal_error(const std::string& what) {
+  std::fprintf(stderr, "narma: fatal error: %s\n", what.c_str());
+  std::fflush(stderr);
+  detail::fatal_exit();
+}
+
+namespace detail {
+
+[[noreturn]] void fatal_exit() noexcept {
+  run_crash_hooks();
+  std::fflush(nullptr);
+  std::abort();
+}
+
+}  // namespace detail
+
+}  // namespace narma

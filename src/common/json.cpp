@@ -143,6 +143,29 @@ class Parser {
     return Value(std::move(arr));
   }
 
+  /// Reads the 4 hex digits of a \uXXXX escape into `cp`; false on error.
+  bool hex4(unsigned& cp) {
+    if (pos_ + 4 > text_.size()) {
+      fail("truncated \\u escape");
+      return false;
+    }
+    cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      cp <<= 4;
+      if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f')
+        cp |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F')
+        cp |= static_cast<unsigned>(h - 'A' + 10);
+      else {
+        fail("bad hex digit in \\u escape");
+        return false;
+      }
+    }
+    return true;
+  }
+
   std::string parse_string() {
     std::string out;
     expect('"', "'\"'");
@@ -162,33 +185,42 @@ class Parser {
           case 'r': out.push_back('\r'); break;
           case 't': out.push_back('\t'); break;
           case 'u': {
-            // Decode \uXXXX to UTF-8 (surrogate pairs unsupported: the
-            // simulator never emits non-BMP characters).
-            if (pos_ + 4 > text_.size()) {
-              fail("truncated \\u escape");
+            // Decode \uXXXX to UTF-8. Non-BMP characters arrive as a
+            // UTF-16 surrogate pair (\uD800-\uDBFF then \uDC00-\uDFFF) and
+            // are combined; an unpaired surrogate is a parse error.
+            unsigned cp = 0;
+            if (!hex4(cp)) return out;
+            if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              fail("unpaired low surrogate in \\u escape");
               return out;
             }
-            unsigned cp = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = text_[pos_++];
-              cp <<= 4;
-              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f')
-                cp |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F')
-                cp |= static_cast<unsigned>(h - 'A' + 10);
-              else {
-                fail("bad hex digit in \\u escape");
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                fail("unpaired high surrogate in \\u escape");
                 return out;
               }
+              pos_ += 2;
+              unsigned lo = 0;
+              if (!hex4(lo)) return out;
+              if (lo < 0xDC00 || lo > 0xDFFF) {
+                fail("high surrogate not followed by a low surrogate");
+                return out;
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
             }
             if (cp < 0x80) {
               out.push_back(static_cast<char>(cp));
             } else if (cp < 0x800) {
               out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
               out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-            } else {
+            } else if (cp < 0x10000) {
               out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+              out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
               out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
               out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
             }

@@ -1,35 +1,63 @@
 #include "core/world.hpp"
 
 #include "common/env.hpp"
+#include "common/fatal.hpp"
 
 namespace narma {
 
 namespace {
 
-sim::SimParams resolve_sim_params(sim::SimParams p) {
+WorldParams resolve_params(WorldParams p) {
   // Ablation override (see WorldParams::sim). Unknown values keep the
   // configured queue.
   const std::string q = env::get_string("NARMA_EVENT_QUEUE", "");
-  if (q == "legacy") p.event_queue = sim::EventQueue::kLegacyHeap;
-  if (q == "calendar") p.event_queue = sim::EventQueue::kCalendar;
+  if (q == "legacy") p.sim.event_queue = sim::EventQueue::kLegacyHeap;
+  if (q == "calendar") p.sim.event_queue = sim::EventQueue::kCalendar;
+  // Fault-model overrides (see net::FaultParams and DESIGN.md §10). Unknown
+  // NARMA_OVERFLOW values keep the configured policy.
+  const std::string o = env::get_string("NARMA_OVERFLOW", "");
+  if (o == "fatal")
+    p.fabric.faults.overflow_policy = net::OverflowPolicy::kFatal;
+  if (o == "backpressure")
+    p.fabric.faults.overflow_policy = net::OverflowPolicy::kBackpressure;
+  net::FaultParams& f = p.fabric.faults;
+  f.seed = static_cast<std::uint64_t>(
+      env::get_int("NARMA_FAULT_SEED", static_cast<std::int64_t>(f.seed)));
+  f.drop_rate = env::get_double("NARMA_FAULT_DROP", f.drop_rate);
+  f.delay_rate = env::get_double("NARMA_FAULT_DELAY", f.delay_rate);
+  f.stall_rate = env::get_double("NARMA_FAULT_STALL", f.stall_rate);
+  f.pressure_rate = env::get_double("NARMA_FAULT_PRESSURE", f.pressure_rate);
   return p;
+}
+
+// Crash hook (NARMA_CRASH_DIR): on a fatal error, dump whatever telemetry
+// this world holds so the failure is diagnosable post-mortem. Reuses the
+// regular dump paths — they only read state owned by the (still-live) world.
+void world_crash_dump(void* world) {
+  auto* w = static_cast<World*>(world);
+  const std::string dir = env::get_string("NARMA_CRASH_DIR", "");
+  if (dir.empty()) return;
+  w->dump_metrics(dir + "/crash_metrics.json");
+  w->dump_trace(dir + "/crash_trace.json");
+  w->dump_msgtrace(dir + "/crash_msgtrace.json");
 }
 
 }  // namespace
 
 World::World(int nranks, WorldParams params)
-    : params_(params),
-      engine_(std::make_unique<sim::Engine>(nranks,
-                                            resolve_sim_params(params.sim))),
-      metrics_(params.enable_metrics
+    : params_(resolve_params(std::move(params))),
+      engine_(std::make_unique<sim::Engine>(nranks, params_.sim)),
+      metrics_(params_.enable_metrics
                    ? std::make_unique<obs::Registry>(nranks)
                    : nullptr),
-      fabric_(std::make_unique<net::Fabric>(*engine_, params.fabric,
+      fabric_(std::make_unique<net::Fabric>(*engine_, params_.fabric,
                                             metrics_.get())) {
   if (params_.obs.msgtrace) enable_msgtrace();
+  if (!env::get_string("NARMA_CRASH_DIR", "").empty())
+    register_crash_hook(&world_crash_dump, this);
 }
 
-World::~World() = default;
+World::~World() { unregister_crash_hook(&world_crash_dump, this); }
 
 void World::run(const std::function<void(Rank&)>& rank_main) {
   engine_->run([this, &rank_main](sim::RankCtx& ctx) {
@@ -44,6 +72,13 @@ void World::run(const std::function<void(Rank&)>& rank_main) {
   metrics_->counter("sim.events_executed", 0).inc(engine_->events_executed());
   metrics_->counter("sim.events_posted", 0).inc(engine_->events_posted());
   metrics_->counter("sim.batched_posts", 0).inc(engine_->batched_posts());
+  // Fault-model and flow-control outcomes (DESIGN.md §10). All zero in a
+  // fault-free fatal-policy run.
+  const net::FabricCounters& fc = fabric_->counters();
+  metrics_->counter("net.retries", 0).inc(fc.retries);
+  metrics_->counter("net.drops", 0).inc(fc.drops);
+  metrics_->counter("net.credit_stalls", 0).inc(fc.credit_stalls);
+  metrics_->counter("net.nic_stalls", 0).inc(fc.nic_stalls);
   // Engine-core wall-clock throughput and queue/pool occupancy: the
   // observability view of the simulator's own hot loop (events/sec is the
   // ceiling on every experiment above it).

@@ -30,6 +30,19 @@ Fabric::Fabric(sim::Engine& engine, FabricParams params,
   nics_.reserve(n);
   for (int r = 0; r < engine_.nranks(); ++r)
     nics_.push_back(std::make_unique<Nic>(*this, engine_.rank(r)));
+  faults_ = std::make_unique<FaultInjector>(params_.faults, engine_.nranks());
+  // Credits are sized to the *rounded* capacities the ring buffers actually
+  // allocate, so backpressure engages exactly when a queue would fill.
+  std::array<std::size_t, FlowControl::kNumQueues> caps{};
+  if (!nics_.empty()) {
+    caps[static_cast<int>(FlowControl::Queue::kDestCq)] =
+        nics_[0]->dest_cq().capacity();
+    caps[static_cast<int>(FlowControl::Queue::kShmRing)] =
+        nics_[0]->shm_ring().capacity();
+    caps[static_cast<int>(FlowControl::Queue::kMailbox)] =
+        nics_[0]->mailbox().capacity();
+  }
+  flow_ = std::make_unique<FlowControl>(params_.faults, engine_.nranks(), caps);
 }
 
 Fabric::~Fabric() = default;
@@ -44,25 +57,64 @@ Time Fabric::reserve_transfer(int src, int dst, Time t_issue,
                               ChannelClass cls, std::uint64_t msg) {
   const TransportTiming& tt = params_.timing(transport);
   Channel& c = chan(src, dst, cls);
-  const Time start = std::max(t_issue, c.next_free);
-  const Time serialization =
-      tt.g + static_cast<Time>(tt.G_ps_per_byte * static_cast<double>(bytes));
-  const Time inject_end = start + serialization;
-  c.next_free = inject_end;
-  const Time deliver = inject_end + tt.L;
-  if (msg && msgtrace_) {
-    msgtrace_->hop(msg, src, obs::HopKind::kChanStart, start);
-    msgtrace_->hop(msg, src, obs::HopKind::kGapEnd, start + tt.g);
-    msgtrace_->hop(msg, src, obs::HopKind::kSerEnd, inject_end);
-  }
-  counters_.bytes_on_wire += bytes;
-  if (!rank_metrics_.empty()) {
-    RankNetMetrics& m = rank_metrics_[static_cast<std::size_t>(src)];
-    const int t = static_cast<int>(transport);
-    m.ops[t].inc();
-    m.bytes[t].inc(bytes);
-    // Queueing delay: how long the injection waited for the channel.
-    m.queue_delay.record_time(start - t_issue);
+  // Fault-free runs take exactly one iteration with no injector draws: the
+  // arithmetic below is then identical to the pre-fault-model fabric (the
+  // bit-identity property tests pin this down).
+  FaultInjector* fi = faults_->enabled() ? faults_.get() : nullptr;
+  Time issue = t_issue;
+  Time deliver = 0;
+  for (int attempt = 0;; ++attempt) {
+    FaultInjector::TransferFaults f;
+    if (fi) f = fi->next_transfer(src);
+    if (f.stall) {
+      // Transient NIC stall: the channel is held busy before this injection.
+      c.next_free = std::max(c.next_free, issue) + f.stall;
+      ++counters_.nic_stalls;
+    }
+    const Time start = std::max(issue, c.next_free);
+    const Time serialization =
+        tt.g +
+        static_cast<Time>(tt.G_ps_per_byte * static_cast<double>(bytes));
+    const Time inject_end = start + serialization;
+    c.next_free = inject_end;
+    deliver = inject_end + tt.L + f.extra_delay;
+    if (fi) {
+      // FIFO clamp: delay jitter must not reorder a channel. Consumers rely
+      // on in-order delivery (a notification issued after its payload must
+      // not arrive first), so a jittered flight pushes back everything
+      // serialized behind it. Never taken on the fault-free path, which
+      // stays bit-identical to the pre-fault-model fabric.
+      if (deliver <= c.last_deliver) deliver = c.last_deliver + 1;
+      c.last_deliver = deliver;
+    }
+    counters_.bytes_on_wire += bytes;
+    if (!rank_metrics_.empty()) {
+      RankNetMetrics& m = rank_metrics_[static_cast<std::size_t>(src)];
+      const int t = static_cast<int>(transport);
+      m.ops[t].inc();
+      m.bytes[t].inc(bytes);
+      // Queueing delay: how long the injection waited for the channel.
+      m.queue_delay.record_time(start - issue);
+    }
+    const bool final_attempt =
+        !f.drop || attempt >= params_.faults.max_retries;
+    if (final_attempt) {
+      // Channel-stage hops only for the flight that actually arrives; the
+      // dropped flights are summarized by their kRetry hops.
+      if (msg && msgtrace_) {
+        msgtrace_->hop(msg, src, obs::HopKind::kChanStart, start);
+        msgtrace_->hop(msg, src, obs::HopKind::kGapEnd, start + tt.g);
+        msgtrace_->hop(msg, src, obs::HopKind::kSerEnd, inject_end);
+      }
+      break;
+    }
+    // Dropped in flight: the source NIC detects the loss at the would-be
+    // delivery time and retransmits after a backoff.
+    ++counters_.drops;
+    ++counters_.retries;
+    issue = deliver + params_.faults.backoff(attempt);
+    if (msg && msgtrace_)
+      msgtrace_->hop(msg, src, obs::HopKind::kRetry, issue);
   }
   return deliver;
 }

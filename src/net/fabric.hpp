@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/faults.hpp"
 #include "net/params.hpp"
 #include "net/types.hpp"
 #include "obs/metrics.hpp"
@@ -98,6 +99,11 @@ class Fabric {
   const FabricCounters& counters() const { return counters_; }
   void reset_counters() { counters_ = FabricCounters{}; }
 
+  /// The seeded fault plan (inert when all rates are zero).
+  FaultInjector& faults() { return *faults_; }
+  /// Sender-side delivery-queue credits (inert under OverflowPolicy::kFatal).
+  FlowControl& flow() { return *flow_; }
+
   /// Optional tracer; nullptr (default) disables all recording.
   sim::Tracer* tracer() const { return tracer_; }
   void set_tracer(sim::Tracer* t) { tracer_ = t; }
@@ -113,6 +119,11 @@ class Fabric {
  private:
   struct Channel {
     Time next_free = 0;
+    // Latest delivery handed out on this channel; only consulted when fault
+    // injection is enabled, where delay jitter would otherwise let a later
+    // flight overtake an earlier one. Channels model reliable *ordered*
+    // links, so a delayed head-of-line delays everything behind it.
+    Time last_deliver = 0;
   };
 
   /// Per-source-rank transfer metrics, indexed by Transport.
@@ -134,6 +145,8 @@ class Fabric {
   FabricParams params_;
   std::vector<Channel> channels_;  // [class][src][dst]
   std::vector<std::unique_ptr<Nic>> nics_;
+  std::unique_ptr<FaultInjector> faults_;
+  std::unique_ptr<FlowControl> flow_;  // after nics_: sized to their queues
   FabricCounters counters_;
   sim::Tracer* tracer_ = nullptr;
   obs::Registry* metrics_ = nullptr;

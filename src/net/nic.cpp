@@ -65,6 +65,8 @@ std::byte* Nic::resolve(MemKey key, std::uint64_t offset, std::size_t bytes) {
 
 std::size_t Nic::pop_hw_batch(std::span<HwNotification> out) {
   std::size_t n = 0;
+  std::size_t cq_popped = 0;
+  std::size_t shm_popped = 0;
   const Time now = ctx_.now();
   while (n < out.size()) {
     // Entries stamped in this rank's future stay queued (their delivery
@@ -82,6 +84,7 @@ std::size_t Nic::pop_hw_batch(std::span<HwNotification> out) {
     if (take_cq) {
       o.queue_slot = &dest_cq_.front();
       const Cqe c = dest_cq_.pop();
+      ++cq_popped;
       o.imm = c.imm;
       o.window = c.window;
       o.bytes = c.bytes;
@@ -90,6 +93,7 @@ std::size_t Nic::pop_hw_batch(std::span<HwNotification> out) {
     } else {
       o.queue_slot = &shm_ring_.front();
       const ShmNotification s = shm_ring_.pop();
+      ++shm_popped;
       o.imm = s.imm;
       o.window = s.window;
       o.bytes = s.bytes;
@@ -106,18 +110,25 @@ std::size_t Nic::pop_hw_batch(std::span<HwNotification> out) {
     const Time now = ctx_.now();
     g_dest_cq_depth_.set(static_cast<std::int64_t>(dest_cq_.size()), now);
     g_shm_ring_depth_.set(static_cast<std::int64_t>(shm_ring_.size()), now);
+    FlowControl& fc = fabric_.flow();
+    fc.release(rank(), FlowControl::Queue::kDestCq, cq_popped,
+               fabric_.engine(), now);
+    fc.release(rank(), FlowControl::Queue::kShmRing, shm_popped,
+               fabric_.engine(), now);
   }
   return n;
 }
 
+NetMsg Nic::pop_mailbox() {
+  NetMsg m = mailbox_.pop();
+  fabric_.flow().release(rank(), FlowControl::Queue::kMailbox, 1,
+                         fabric_.engine(), ctx_.now());
+  return m;
+}
+
 // --- Completion delivery ----------------------------------------------------
 
-void Nic::push_cqe(const Cqe& cqe) {
-  NARMA_CHECK(dest_cq_.try_push(cqe))
-      << "destination completion queue overflow at rank " << rank()
-      << " (capacity " << dest_cq_.capacity()
-      << "); like uGNI, CQ overflow is fatal — size the queue or consume "
-         "notifications faster";
+void Nic::commit(const Cqe& cqe) {
   ++fabric_.counters().notifications;
   if (cqe.msg)
     if (auto* mt = fabric_.msgtrace())
@@ -126,9 +137,7 @@ void Nic::push_cqe(const Cqe& cqe) {
   progress_.notify(fabric_.engine(), cqe.time);
 }
 
-void Nic::push_shm(const ShmNotification& n) {
-  NARMA_CHECK(shm_ring_.try_push(n))
-      << "shared-memory notification ring overflow at rank " << rank();
+void Nic::commit(const ShmNotification& n) {
   ++fabric_.counters().notifications;
   if (n.msg)
     if (auto* mt = fabric_.msgtrace())
@@ -137,7 +146,152 @@ void Nic::push_shm(const ShmNotification& n) {
   progress_.notify(fabric_.engine(), n.time);
 }
 
+void Nic::commit(const NetMsg& msg) {
+  if (msg.msg)
+    if (auto* mt = fabric_.msgtrace())
+      mt->hop(msg.msg, rank(), obs::HopKind::kDeliver, msg.time);
+  g_mailbox_depth_.set(static_cast<std::int64_t>(mailbox_.size()), msg.time);
+  progress_.notify(fabric_.engine(), msg.time);
+}
+
+template <class T>
+void Nic::graceful_deliver(T entry, RingBuffer<T>& q, Spill<T>& sp,
+                           const char* what) {
+  // Entries parked ahead must land first (per-source FIFO); otherwise try
+  // the queue directly, with the fault plan optionally forcing a transient
+  // "queue full" observation on first contact.
+  const bool behind = !sp.entries.empty();
+  const bool forced = !behind && fabric_.faults().enabled() &&
+                      fabric_.faults().next_pressure(rank());
+  if (!behind && !forced && q.try_push(entry)) {
+    commit(entry);
+    return;
+  }
+  ++fabric_.counters().retries;
+  if (entry.msg)
+    if (auto* mt = fabric_.msgtrace())
+      mt->hop(entry.msg, rank(), obs::HopKind::kRetry, entry.time);
+  const Time t = entry.time + fabric_.params().faults.backoff(0);
+  sp.entries.push_back(std::move(entry));
+  if (!sp.scheduled) {
+    sp.scheduled = true;
+    fabric_.engine().post(
+        t, [this, &q, &sp, what, t] { drain_spill(q, sp, what, t); });
+  }
+}
+
+template <class T>
+void Nic::drain_spill(RingBuffer<T>& q, Spill<T>& sp, const char* what,
+                      Time t) {
+  sp.scheduled = false;
+  while (!sp.entries.empty()) {
+    T& head = sp.entries.front();
+    // The entry lands now, not at its first (refused) arrival, so consumers
+    // and the msgtrace see the redelivery instant.
+    if (head.time < t) head.time = t;
+    if (q.try_push(head)) {
+      commit(head);
+      sp.entries.pop_front();
+      sp.head_failures = 0;
+      continue;
+    }
+    // Still no slot. Credited traffic cannot reach this (a spilled entry's
+    // slot is reserved), so this is an uncredited push racing a full queue;
+    // retry with bounded exponential backoff.
+    ++fabric_.counters().retries;
+    ++sp.head_failures;
+    NARMA_CHECK(sp.head_failures <= fabric_.params().faults.max_retries)
+        << what << " redelivery retry budget exhausted at rank " << rank()
+        << ": depth " << q.size() << " of capacity " << q.capacity()
+        << " — the consumer is not draining; raise the queue capacity or "
+           "FaultParams::max_retries";
+    if (head.msg)
+      if (auto* mt = fabric_.msgtrace())
+        mt->hop(head.msg, rank(), obs::HopKind::kRetry, t);
+    const Time next = t + fabric_.params().faults.backoff(sp.head_failures);
+    sp.scheduled = true;
+    fabric_.engine().post(next, [this, &q, &sp, what, next] {
+      drain_spill(q, sp, what, next);
+    });
+    return;
+  }
+}
+
+void Nic::acquire_credit(int target, FlowControl::Queue q, std::uint64_t msg) {
+  FlowControl& fc = fabric_.flow();
+  if (!fc.active() || fc.try_acquire(target, q)) return;
+  const FaultParams& fp = fabric_.params().faults;
+  int attempt = 0;
+  for (;;) {
+    ++fabric_.counters().credit_stalls;
+    NARMA_CHECK(attempt < fp.max_retries)
+        << "credit-stall retry budget exhausted: rank " << rank() << " -> "
+        << target << " (" << fc.in_flight(target, q) << " of "
+        << fc.capacity(q)
+        << " slots in flight) — the consumer is not draining; raise the "
+           "destination queue capacity or FaultParams::max_retries";
+    ctx_.wait_deadline(fc.trigger(target), ctx_.now() + fp.backoff(attempt),
+                       "net-credit-stall");
+    ctx_.drain();
+    ++attempt;
+    if (fc.try_acquire(target, q)) break;
+  }
+  // The op was delayed by backpressure; fold the stall into its lifecycle.
+  if (msg)
+    if (auto* mt = fabric_.msgtrace())
+      mt->hop(msg, rank(), obs::HopKind::kRetry, ctx_.now());
+}
+
+void Nic::push_cqe(const Cqe& cqe) {
+  if (fabric_.flow().active()) {
+    graceful_deliver(cqe, dest_cq_, spill_cq_, "destination completion queue");
+    return;
+  }
+  NARMA_CHECK(dest_cq_.try_push(cqe))
+      << "destination completion queue overflow at rank " << rank()
+      << ": depth " << dest_cq_.size() << " of capacity "
+      << dest_cq_.capacity()
+      << " — raise WorldParams::fabric.dest_cq_capacity, consume "
+         "notifications faster, or select the backpressure overflow policy "
+         "(FaultParams::overflow_policy, NARMA_OVERFLOW=backpressure); like "
+         "uGNI, CQ overflow under the fatal policy is unrecoverable";
+  commit(cqe);
+}
+
+void Nic::push_shm(const ShmNotification& n) {
+  if (fabric_.flow().active()) {
+    graceful_deliver(n, shm_ring_, spill_shm_, "shm notification ring");
+    return;
+  }
+  NARMA_CHECK(shm_ring_.try_push(n))
+      << "shared-memory notification ring overflow at rank " << rank()
+      << ": depth " << shm_ring_.size() << " of capacity "
+      << shm_ring_.capacity()
+      << " — raise WorldParams::fabric.shm_ring_capacity, consume "
+         "notifications faster, or select the backpressure overflow policy "
+         "(FaultParams::overflow_policy, NARMA_OVERFLOW=backpressure)";
+  commit(n);
+}
+
 void Nic::push_msg(NetMsg msg) {
+  if (fabric_.flow().active()) {
+    if (delivery_hook_) {
+      const std::uint64_t mid = msg.msg;
+      const Time t = msg.time;
+      if (delivery_hook_(std::move(msg))) {
+        // Consumed by the async-progression agent: delivered at this
+        // instant, and its mailbox slot reservation is returned unused.
+        if (mid)
+          if (auto* mt = fabric_.msgtrace())
+            mt->hop(mid, rank(), obs::HopKind::kDeliver, t);
+        fabric_.flow().release(rank(), FlowControl::Queue::kMailbox, 1,
+                               fabric_.engine(), t);
+        return;
+      }
+    }
+    graceful_deliver(std::move(msg), mailbox_, spill_mail_, "mailbox");
+    return;
+  }
   // Recorded before the delivery hook: a hook-consumed message (async
   // progression) is delivered at this instant too.
   if (msg.msg)
@@ -146,7 +300,11 @@ void Nic::push_msg(NetMsg msg) {
   if (delivery_hook_ && delivery_hook_(std::move(msg))) return;
   const Time t = msg.time;
   NARMA_CHECK(mailbox_.try_push(std::move(msg)))
-      << "mailbox overflow at rank " << rank();
+      << "mailbox overflow at rank " << rank() << ": depth "
+      << mailbox_.size() << " of capacity " << mailbox_.capacity()
+      << " — raise WorldParams::fabric.mailbox_capacity, progress the "
+         "receiver, or select the backpressure overflow policy "
+         "(FaultParams::overflow_policy, NARMA_OVERFLOW=backpressure)";
   g_mailbox_depth_.set(static_cast<std::int64_t>(mailbox_.size()), t);
   progress_.notify(fabric_.engine(), t);
 }
@@ -167,6 +325,7 @@ void Nic::post_ack(int origin, Time deliver_time, Transport transport,
 
 void Nic::put(int target, MemKey key, std::uint64_t offset, const void* src,
               std::size_t bytes, NotifyAttr na, PendingOps* pending) {
+  if (na.notify) acquire_credit(target, FlowControl::Queue::kDestCq, na.msg);
   put_at(ctx_.now(), target, key, offset, src, bytes, na, pending);
 }
 
@@ -218,6 +377,7 @@ void Nic::put_iov(int target, MemKey key,
                   PendingOps* pending) {
   std::size_t total = 0;
   for (const auto& s : segments) total += s.bytes;
+  if (na.notify) acquire_credit(target, FlowControl::Queue::kDestCq, na.msg);
   const Transport tr = fabric_.transport_for(rank(), target, total);
   Nic* tgt = &fabric_.nic(target);
   if (pending) ++pending->issued;
@@ -260,6 +420,7 @@ void Nic::put_iov(int target, MemKey key,
 
 void Nic::get(int target, MemKey key, std::uint64_t offset, void* dst,
               std::size_t bytes, NotifyAttr na, PendingOps* pending) {
+  if (na.notify) acquire_credit(target, FlowControl::Queue::kDestCq, na.msg);
   const Transport tr = fabric_.transport_for(rank(), target, bytes);
   Nic* tgt = &fabric_.nic(target);
   Nic* self = this;
@@ -314,6 +475,7 @@ void Nic::get(int target, MemKey key, std::uint64_t offset, void* dst,
 void Nic::atomic(int target, MemKey key, std::uint64_t offset, AtomicOp op,
                  std::int64_t operand, std::int64_t compare,
                  std::int64_t* result, NotifyAttr na, PendingOps* pending) {
+  if (na.notify) acquire_credit(target, FlowControl::Queue::kDestCq, na.msg);
   const Transport tr = fabric_.transport_for(rank(), target, sizeof(int64_t));
   Nic* tgt = &fabric_.nic(target);
   Nic* self = this;
@@ -372,6 +534,7 @@ void Nic::atomic(int target, MemKey key, std::uint64_t offset, AtomicOp op,
 // --- Control messages ---------------------------------------------------------
 
 void Nic::send_msg(int target, NetMsg msg) {
+  acquire_credit(target, FlowControl::Queue::kMailbox, msg.msg);
   const std::size_t wire =
       fabric_.params().ctrl_msg_bytes + msg.payload.size();
   const Transport tr = fabric_.transport_for(rank(), target, wire);
@@ -402,6 +565,7 @@ void Nic::send_shm_notification(int target, ShmNotification n,
   NARMA_CHECK(fabric_.same_node(rank(), target))
       << "shm notification to remote node (rank " << rank() << " -> "
       << target << ")";
+  acquire_credit(target, FlowControl::Queue::kShmRing, n.msg);
   Nic* tgt = &fabric_.nic(target);
   if (pending) ++pending->issued;
   g_src_pending_.add(1, ctx_.now());

@@ -24,6 +24,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstring>
+#include <deque>
 #include <limits>
 #include <span>
 
@@ -142,6 +143,12 @@ class Nic {
   RingBuffer<ShmNotification>& shm_ring() { return shm_ring_; }
   RingBuffer<NetMsg>& mailbox() { return mailbox_; }
 
+  /// Pops the oldest mailbox entry and returns its flow-control credit to
+  /// the senders (a no-op under the fatal overflow policy). The router's
+  /// progress loop uses this instead of mailbox().pop() so backpressured
+  /// senders wake as the consumer drains.
+  NetMsg pop_mailbox();
+
   /// Re-samples the queue-depth gauges at the rank's clock. Consumers that
   /// pop from the queues directly (the mailbox router) call this after
   /// draining so the high-water marks and counter tracks stay faithful.
@@ -228,6 +235,40 @@ class Nic {
   void post_ack(int origin, Time deliver_time, Transport transport,
                 PendingOps* pending);
 
+  // --- Flow control & graceful delivery (OverflowPolicy::kBackpressure) ----
+
+  /// Rank-context credit acquisition for one delivery-queue slot at
+  /// `target`. Blocks with bounded exponential backoff (counted as
+  /// net.credit_stalls) when the destination has no free slot; records a
+  /// kRetry hop for sampled messages that had to wait. A no-op under the
+  /// fatal policy. Must never be called from event context.
+  void acquire_credit(int target, FlowControl::Queue q, std::uint64_t msg);
+
+  /// Deferred deliveries parked while their queue reported full (injected
+  /// pressure, or an uncredited push racing a full queue). Arrival order is
+  /// preserved: fresh deliveries queue behind the spill so per-source FIFO —
+  /// which the NA matching order relies on — survives retries.
+  template <class T>
+  struct Spill {
+    std::deque<T> entries;
+    bool scheduled = false;  // a drain event is pending
+    int head_failures = 0;   // consecutive failed redeliveries of the head
+  };
+
+  /// Delivery with retry instead of abort: push now if the queue accepts and
+  /// nothing is parked ahead, otherwise spill and schedule a redelivery.
+  template <class T>
+  void graceful_deliver(T entry, RingBuffer<T>& q, Spill<T>& sp,
+                        const char* what);
+  template <class T>
+  void drain_spill(RingBuffer<T>& q, Spill<T>& sp, const char* what, Time t);
+
+  /// Post-push bookkeeping shared by the direct and redelivery paths:
+  /// counters, the kDeliver hop, depth gauge, progress notification.
+  void commit(const Cqe& cqe);
+  void commit(const ShmNotification& n);
+  void commit(const NetMsg& msg);
+
   struct MemRegion {
     std::byte* base = nullptr;
     std::size_t bytes = 0;
@@ -241,6 +282,9 @@ class Nic {
   RingBuffer<Cqe> dest_cq_;
   RingBuffer<ShmNotification> shm_ring_;
   RingBuffer<NetMsg> mailbox_;
+  Spill<Cqe> spill_cq_;
+  Spill<ShmNotification> spill_shm_;
+  Spill<NetMsg> spill_mail_;
   std::function<bool(NetMsg&&)> delivery_hook_;
   // Queue-depth gauges (destination side) and the source-side outstanding-
   // operation gauge; disengaged no-op handles when metrics are off.

@@ -11,7 +11,9 @@
 // Cray XC30. Intra-node pairs use the shared-memory (XPMEM-like) transport.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 
 #include "common/time.hpp"
 
@@ -36,6 +38,68 @@ struct TransportTiming {
                           // origin (0 for coherent shared memory)
 };
 
+/// What a NIC does when a delivery queue (destination CQ, shm notification
+/// ring, mailbox) is full.
+enum class OverflowPolicy : std::uint8_t {
+  /// Abort the run — uGNI semantics, where destination-CQ overflow is an
+  /// unrecoverable hardware error. The historical (and default) behavior.
+  kFatal = 0,
+  /// Sender-side credit backpressure plus bounded retry with exponential
+  /// backoff at the delivery site; the run completes, slower.
+  kBackpressure = 1,
+};
+
+inline const char* to_string(OverflowPolicy p) {
+  return p == OverflowPolicy::kFatal ? "fatal" : "backpressure";
+}
+
+/// Deterministic fault plan and flow-control policy (DESIGN.md §10). All
+/// fault draws are counter-based — a pure hash of (seed, rank, per-rank
+/// sequence number) — so a given seed names one reproducible fault schedule
+/// regardless of how runs are repeated. With the rates at their zero
+/// defaults and the fatal policy, the fault machinery is never consulted and
+/// execution is bit-identical to a build without it (enforced by
+/// tests/test_failure_injection.cpp).
+struct FaultParams {
+  std::uint64_t seed = 1;
+
+  /// Probability that a transfer's flight is dropped and retransmitted by
+  /// the source NIC (after the would-be delivery time plus backoff).
+  double drop_rate = 0.0;
+  /// Probability of extra delivery jitter, uniform in (0, delay_max].
+  double delay_rate = 0.0;
+  Time delay_max = us(2);
+  /// Probability of a transient NIC stall: the source channel is held busy
+  /// for stall_time before the injection starts.
+  double stall_rate = 0.0;
+  Time stall_time = us(10);
+  /// Probability that a delivery queue reports "full" on first attempt even
+  /// when it is not (forced-overflow pressure; exercises the retry path).
+  /// Only meaningful under kBackpressure — the fatal policy ignores it so a
+  /// fault-laden fatal-policy run does not die on a synthetic overflow.
+  double pressure_rate = 0.0;
+
+  OverflowPolicy overflow_policy = OverflowPolicy::kFatal;
+
+  /// Retry budget per operation (queue redeliveries, credit stalls,
+  /// retransmits). Exhaustion is fatal with full diagnostics — backpressure
+  /// degrades gracefully but never hangs silently.
+  int max_retries = 1000;
+  Time backoff_base = us(1);
+  Time backoff_max = ms(1);
+
+  bool any_faults() const {
+    return drop_rate > 0 || delay_rate > 0 || stall_rate > 0 ||
+           pressure_rate > 0;
+  }
+
+  /// Exponential backoff: base << attempt, capped at backoff_max.
+  Time backoff(int attempt) const {
+    const int sh = std::min(attempt, 20);
+    return std::min(backoff_base << sh, backoff_max);
+  }
+};
+
 struct FabricParams {
   TransportTiming shm{us(0.25), 80.0, ns(5), ps(0)};
   TransportTiming fma{us(1.02), 105.0, ns(20), us(1.02)};
@@ -57,6 +121,10 @@ struct FabricParams {
   std::size_t dest_cq_capacity = 1 << 16;
   std::size_t mailbox_capacity = 1 << 16;
   std::size_t shm_ring_capacity = 1 << 14;
+
+  /// Fault injection and overflow/flow-control policy. Environment
+  /// overrides (NARMA_OVERFLOW, NARMA_FAULT_*) are applied by World.
+  FaultParams faults;
 
   const TransportTiming& timing(Transport t) const {
     switch (t) {

@@ -60,7 +60,7 @@ class MsgRouter {
     while (!nic_.mailbox().empty() &&
            nic_.mailbox().front().time <= nic_.ctx().now()) {
       drained = true;
-      NetMsg msg = nic_.mailbox().pop();
+      NetMsg msg = nic_.pop_mailbox();
       if (msg.msg)
         if (auto* mt = nic_.fabric().msgtrace())
           mt->hop(msg.msg, nic_.rank(), obs::HopKind::kPop,

@@ -117,6 +117,12 @@ struct FabricCounters {
   std::uint64_t acks = 0;            // delivery acks for local completion
   std::uint64_t notifications = 0;   // CQEs + shm-ring entries delivered
   std::uint64_t bytes_on_wire = 0;
+  // Fault-injection / flow-control accounting (DESIGN.md §10). All zero in
+  // a fault-free fatal-policy run.
+  std::uint64_t retries = 0;        // deferred deliveries + retransmits
+  std::uint64_t drops = 0;          // injected transfer drops (retransmitted)
+  std::uint64_t credit_stalls = 0;  // sender waits for delivery-queue credit
+  std::uint64_t nic_stalls = 0;     // injected transient NIC stalls
 };
 
 }  // namespace narma::net

@@ -38,6 +38,7 @@ const char* to_string(HopKind k) {
     case HopKind::kPop: return "pop";
     case HopKind::kMatchHit: return "match_hit";
     case HopKind::kWakeup: return "wakeup";
+    case HopKind::kRetry: return "retry";
   }
   return "?";
 }
@@ -51,6 +52,7 @@ const char* to_string(LatCat c) {
     case LatCat::kWire: return "wire";
     case LatCat::kBlocked: return "blocked";
     case LatCat::kMatch: return "match";
+    case LatCat::kRetry: return "retry";
     case LatCat::kLocal: return "local";
     case LatCat::kCount: break;
   }
@@ -60,17 +62,22 @@ const char* to_string(LatCat c) {
 namespace {
 
 /// The decomposition rule: an interval belongs to the category of its later
-/// hop. kInject never appears as a later hop within one message.
-LatCat cat_of(HopKind later) {
+/// hop. kInject never appears as a later hop within one message. Two fault-
+/// model refinements keep the telescoping identity exact under retries: an
+/// interval *ending* at a kRetry hop is backoff/retry time, and so is a
+/// redelivery leg — a kDeliver whose immediately-earlier hop was a kRetry.
+LatCat cat_of(HopKind earlier, HopKind later) {
   switch (later) {
     case HopKind::kIssue: return LatCat::kSrcOverhead;
     case HopKind::kChanStart: return LatCat::kChanQueue;
     case HopKind::kGapEnd: return LatCat::kGap;
     case HopKind::kSerEnd: return LatCat::kSer;
-    case HopKind::kDeliver: return LatCat::kWire;
+    case HopKind::kDeliver:
+      return earlier == HopKind::kRetry ? LatCat::kRetry : LatCat::kWire;
     case HopKind::kPop: return LatCat::kBlocked;
     case HopKind::kMatchHit: return LatCat::kMatch;
     case HopKind::kWakeup: return LatCat::kMatch;
+    case HopKind::kRetry: return LatCat::kRetry;
     case HopKind::kInject: return LatCat::kLocal;
   }
   return LatCat::kLocal;
@@ -215,7 +222,7 @@ std::vector<MsgTrace::MsgSummary> MsgTrace::summarize() const {
       s.dst = s.src;
     }
     for (std::size_t i = 1; i < hops.size(); ++i) {
-      s.cat[static_cast<std::size_t>(cat_of(hops[i].kind))] +=
+      s.cat[static_cast<std::size_t>(cat_of(hops[i - 1].kind, hops[i].kind))] +=
           hops[i].t - hops[i - 1].t;
     }
     s.hops = std::move(hops);
@@ -284,7 +291,7 @@ MsgTrace::CritPath MsgTrace::critical_path() const {
       const HopRecord& later = m.hops[hi];
       const HopRecord& earlier = m.hops[hi - 1];
       const Time dt = later.t - earlier.t;
-      cp.cat[static_cast<std::size_t>(cat_of(later.kind))] += dt;
+      cp.cat[static_cast<std::size_t>(cat_of(earlier.kind, later.kind))] += dt;
       cp.per_rank[later.rank] += dt;
       --hi;
     }

@@ -22,15 +22,19 @@
 //   kPop        consumer drained the hardware queue / mailbox
 //   kMatchHit   matching engine consumed the notification / envelope
 //   kWakeup     consumer-side completion returned to the application
+//   kRetry      fault model: retransmit scheduled, delivery deferred, or a
+//               sender credit stall resolved (DESIGN.md §10)
 //
 // Decomposition assigns the interval between adjacent hops to the category
 // of the *later* hop (kIssue -> src overhead o, kChanStart -> channel
 // queueing, kGapEnd -> gap g, kSerEnd -> serialization G, kDeliver -> wire L,
-// kPop -> consumer-blocked, kMatchHit/kWakeup -> match latency). Because the
+// kPop -> consumer-blocked, kMatchHit/kWakeup -> match latency; an interval
+// ending at kRetry — and one ending at kDeliver whose *earlier* hop is a
+// kRetry, i.e. the redelivery leg — is retry/backoff time). Because the
 // intervals telescope, the categories provably sum to t_last - t_first: the
 // end-to-end virtual latency. Multi-leg protocols (rendezvous RTS->CTS->DATA,
 // get responses) repeat hop kinds under one MsgId and the identity still
-// holds.
+// holds, with or without faults.
 //
 // critical_path() walks the causal DAG backwards from the latest CPU-side
 // hop: within a message, hop to hop; at an injection, to the latest earlier
@@ -86,6 +90,7 @@ enum class HopKind : std::uint8_t {
   kPop,
   kMatchHit,
   kWakeup,
+  kRetry,  // appended last: ordinals above are stable in narma.msgtrace.v1
 };
 
 const char* to_string(HopKind k);
@@ -100,6 +105,7 @@ enum class LatCat : std::uint8_t {
   kWire,             // wire flight L
   kBlocked,          // delivered but consumer not yet polling
   kMatch,            // matching + consumer-side completion overhead
+  kRetry,            // fault model: backoff, redelivery, credit stalls
   kLocal,            // critical path only: application compute between msgs
   kCount,
 };

@@ -223,7 +223,9 @@ void Engine::deadlock_dump() {
                  to_us(s.ctx->now()), s.block_label);
   }
   std::fflush(stderr);
-  std::abort();
+  // Flush registered telemetry sinks (bench JSON, crash dumps) before dying
+  // so the evidence of *what* deadlocked survives the abort.
+  narma::detail::fatal_exit();
 }
 
 }  // namespace narma::sim

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/env.hpp"
+#include "common/json.hpp"
 #include "common/ring_buffer.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -161,4 +162,47 @@ TEST(Table, FormatsNumbers) {
 TEST(Table, MismatchedRowAborts) {
   Table t({"a", "b"});
   EXPECT_DEATH(t.add_row({"only-one"}), "row has 1 cells");
+}
+
+// --- JSON \uXXXX escapes -----------------------------------------------------
+
+TEST(Json, BasicUnicodeEscapesDecodeToUtf8) {
+  // One-, two-, and three-byte UTF-8 results from BMP code points:
+  // U+0041 'A', U+00E9 'é', U+4E2D '中'.
+  const auto r = json::parse(R"(["\u0041\u00e9\u4e2d"])");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value[std::size_t{0}].as_string(), "A\xc3\xa9\xe4\xb8\xad");
+}
+
+TEST(Json, SurrogatePairDecodesToFourByteUtf8) {
+  // U+1F600 GRINNING FACE is 😀 in JSON and F0 9F 98 80 in UTF-8.
+  const auto r = json::parse(R"(["\ud83d\ude00"])");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value[std::size_t{0}].as_string(), "\xf0\x9f\x98\x80");
+  // Mixed with surrounding text and a second astral pair (U+10348).
+  const auto r2 = json::parse(R"(["x\ud83d\ude00y\ud800\udf48z"])");
+  ASSERT_TRUE(r2.ok) << r2.error;
+  EXPECT_EQ(r2.value[std::size_t{0}].as_string(),
+            "x\xf0\x9f\x98\x80y\xf0\x90\x8d\x88z");
+}
+
+TEST(Json, CaseInsensitiveHexInSurrogates) {
+  const auto r = json::parse(R"(["\uD83D\uDE00"])");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value[std::size_t{0}].as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, LoneSurrogatesAreParseErrors) {
+  // High surrogate at end of string.
+  EXPECT_FALSE(json::parse(R"(["\ud83d"])").ok);
+  // High surrogate followed by plain text.
+  EXPECT_FALSE(json::parse(R"(["\ud83dxy"])").ok);
+  // High surrogate followed by a non-low-surrogate escape.
+  EXPECT_FALSE(json::parse(R"(["\ud83d\u0041"])").ok);
+  // Low surrogate with no preceding high surrogate.
+  EXPECT_FALSE(json::parse(R"(["\ude00"])").ok);
+  // Truncated hex digits.
+  EXPECT_FALSE(json::parse(R"(["\ud83d\ude0"])").ok);
+  const auto r = json::parse(R"(["\ud83d\u0041"])");
+  EXPECT_NE(r.error.find("surrogate"), std::string::npos) << r.error;
 }

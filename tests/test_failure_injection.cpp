@@ -1,11 +1,20 @@
 // Failure-injection tests: every fatal condition the runtime guards against
 // must be detected and reported, not silently corrupt state — CQ/ring
 // overflow (fatal, like uGNI), simulation deadlock, misuse of requests and
-// windows, and tag-range violations.
+// windows, and tag-range violations. Each overflow death test has a
+// backpressure counterpart: the same traffic under
+// OverflowPolicy::kBackpressure must complete, with the stalls surfaced in
+// the fabric counters. The seeded fault plan (FaultParams) is checked for
+// determinism, and a property test pins the fault-free path to bit-identical
+// virtual times.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "core/world.hpp"
 
 using namespace narma;
@@ -161,4 +170,243 @@ TEST(FailureInjection, WindowDestructionFlushesOutstandingOps) {
     }
     self.barrier();
   });
+}
+
+// --- Shared-memory notification ring (fatal policy) --------------------------
+
+TEST(FailureInjection, ShmRingOverflowIsFatal) {
+  WorldParams wp = WorldParams::single_node(2);
+  wp.fabric.shm_ring_capacity = 4;
+  EXPECT_DEATH(
+      {
+        World world(2, wp);
+        world.run([](Rank& self) {
+          auto win = self.win_allocate(8, 1);
+          if (self.id() == 0) {
+            for (int i = 0; i < 32; ++i)
+              self.na().put_notify(*win, nullptr, 0, 1, 0, 1);
+            win->flush(1);
+          } else {
+            self.ctx().yield_until(ms(10), "sleep");
+          }
+          self.barrier();
+        });
+      },
+      "notification ring overflow");
+}
+
+// --- Backpressure counterparts (DESIGN.md §10) -------------------------------
+//
+// The exact traffic that is fatal above must *complete* under
+// OverflowPolicy::kBackpressure, with the stalls visible in the fabric
+// counters instead of a dead process.
+
+namespace {
+
+WorldParams backpressure_params(WorldParams wp = {}) {
+  wp.fabric.faults.overflow_policy = net::OverflowPolicy::kBackpressure;
+  return wp;
+}
+
+}  // namespace
+
+TEST(FailureInjection, DestCqOverflowBackpressureCompletes) {
+  WorldParams wp = backpressure_params();
+  wp.fabric.dest_cq_capacity = 8;
+  World world(2, wp);
+  world.run([](Rank& self) {
+    auto win = self.win_allocate(8, 1);
+    if (self.id() == 0) {
+      // Same burst as DestCqOverflowIsFatal: 32 notifications into a CQ of
+      // 8. The sender now stalls on credits until the consumer drains.
+      for (int i = 0; i < 32; ++i)
+        self.na().put_notify(*win, nullptr, 0, 1, 0, 1);
+      win->flush(1);
+    } else {
+      self.ctx().yield_until(ms(10), "sleep");
+      auto req = self.na().notify_init(*win, 0, 1, 32);
+      self.na().start(req);
+      self.na().wait(req);
+    }
+    self.barrier();
+  });
+  EXPECT_GT(world.fabric().counters().credit_stalls, 0u);
+  EXPECT_EQ(world.fabric().counters().drops, 0u);
+}
+
+TEST(FailureInjection, MailboxOverflowBackpressureCompletes) {
+  WorldParams wp = backpressure_params();
+  wp.fabric.mailbox_capacity = 4;
+  World world(2, wp);
+  world.run([](Rank& self) {
+    if (self.id() == 0) {
+      int v = 41;
+      for (int i = 0; i < 64; ++i) self.send(&v, 4, 1, 1);
+    } else {
+      self.ctx().yield_until(ms(10), "sleep");
+      int v = 0;
+      for (int i = 0; i < 64; ++i) self.recv(&v, 4, 0, 1);
+      EXPECT_EQ(v, 41);
+    }
+  });
+  EXPECT_GT(world.fabric().counters().credit_stalls, 0u);
+}
+
+TEST(FailureInjection, ShmRingOverflowBackpressureCompletes) {
+  WorldParams wp = backpressure_params(WorldParams::single_node(2));
+  wp.fabric.shm_ring_capacity = 4;
+  World world(2, wp);
+  world.run([](Rank& self) {
+    auto win = self.win_allocate(8, 1);
+    if (self.id() == 0) {
+      for (int i = 0; i < 32; ++i)
+        self.na().put_notify(*win, nullptr, 0, 1, 0, 1);
+      win->flush(1);
+    } else {
+      self.ctx().yield_until(ms(10), "sleep");
+      auto req = self.na().notify_init(*win, 0, 1, 32);
+      self.na().start(req);
+      self.na().wait(req);
+    }
+    self.barrier();
+  });
+  EXPECT_GT(world.fabric().counters().credit_stalls, 0u);
+}
+
+TEST(FailureInjection, ForcedPressureRetriesAndCompletes) {
+  // pressure_rate = 1.0 makes every first delivery attempt observe a full
+  // queue; every notification and control message must take exactly the
+  // defer-once path and still land, in order, with the data intact.
+  WorldParams wp = backpressure_params();
+  wp.fabric.faults.pressure_rate = 1.0;
+  World world(2, wp);
+  world.run([](Rank& self) {
+    double result = 0;
+    {
+      auto win = self.rma().create(&result, sizeof(double), sizeof(double));
+      if (self.id() == 0) {
+        double v = 6.25;
+        self.na().put_notify(*win, &v, sizeof v, 1, 0, 3);
+        win->flush(1);
+      } else {
+        auto req = self.na().notify_init(*win, 0, 3, 1);
+        self.na().start(req);
+        self.na().wait(req);
+        EXPECT_EQ(result, 6.25);
+      }
+      self.barrier();
+    }
+  });
+  EXPECT_GT(world.fabric().counters().retries, 0u);
+}
+
+// --- Seeded fault-plan determinism -------------------------------------------
+
+namespace {
+
+struct FaultRunOutcome {
+  std::vector<Time> times;
+  std::uint64_t retries = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t credit_stalls = 0;
+  std::uint64_t nic_stalls = 0;
+
+  bool operator==(const FaultRunOutcome&) const = default;
+};
+
+/// All-to-next ring of notified puts under a fault-laden backpressure
+/// config; returns everything that must be a pure function of the seed.
+FaultRunOutcome run_faulty_ring(std::uint64_t seed) {
+  WorldParams wp;
+  wp.fabric.faults.overflow_policy = net::OverflowPolicy::kBackpressure;
+  wp.fabric.faults.seed = seed;
+  wp.fabric.faults.drop_rate = 0.05;
+  wp.fabric.faults.delay_rate = 0.2;
+  wp.fabric.faults.stall_rate = 0.05;
+  wp.fabric.faults.pressure_rate = 0.1;
+  World world(4, wp);
+  world.run([](Rank& self) {
+    auto win = self.win_allocate(4096, 1);
+    const int dst = (self.id() + 1) % self.size();
+    const int src = (self.id() + self.size() - 1) % self.size();
+    auto req = self.na().notify_init(*win, src, src, 16);
+    self.na().start(req);
+    std::vector<std::byte> buf(256, std::byte{0x5a});
+    for (int i = 0; i < 16; ++i)
+      self.na().put_notify(*win, buf.data(), buf.size(), dst, 0, self.id());
+    win->flush(dst);
+    self.na().wait(req);
+    self.barrier();
+  });
+  FaultRunOutcome o;
+  for (int r = 0; r < 4; ++r) o.times.push_back(world.engine().rank(r).now());
+  const net::FabricCounters& c = world.fabric().counters();
+  o.retries = c.retries;
+  o.drops = c.drops;
+  o.credit_stalls = c.credit_stalls;
+  o.nic_stalls = c.nic_stalls;
+  return o;
+}
+
+}  // namespace
+
+TEST(FailureInjection, SeededFaultPlanIsDeterministic) {
+  const FaultRunOutcome a = run_faulty_ring(42);
+  const FaultRunOutcome b = run_faulty_ring(42);
+  EXPECT_EQ(a.times, b.times);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.drops, b.drops);
+  EXPECT_EQ(a.credit_stalls, b.credit_stalls);
+  EXPECT_EQ(a.nic_stalls, b.nic_stalls);
+  // With these rates and 64 transfers, some fault must actually have fired.
+  EXPECT_GT(a.drops + a.retries + a.nic_stalls, 0u);
+  // A different seed names a different fault schedule.
+  const FaultRunOutcome c = run_faulty_ring(7);
+  EXPECT_NE(c, a);
+}
+
+// --- Bit-identity of the fault-free path -------------------------------------
+
+TEST(FailureInjection, FaultFreeSchedulesAreBitIdentical) {
+  // Property test over randomized schedules: with FaultParams at their
+  // defaults (all rates zero), the fault machinery must not perturb virtual
+  // time at all. Even trials pin repeatability (same schedule twice under
+  // the default fatal policy); odd trials pin policy-independence (fatal vs
+  // backpressure — with no overflow, credits never stall, so the virtual
+  // times must be identical to the picosecond).
+  auto run_once = [](int nops, std::uint32_t bytes, net::OverflowPolicy pol) {
+    WorldParams wp;
+    wp.fabric.faults.overflow_policy = pol;
+    World world(2, wp);
+    world.run([nops, bytes](Rank& self) {
+      std::vector<std::byte> buf(4096, std::byte{1});
+      auto win = self.win_allocate(8192, 1);
+      if (self.id() == 0) {
+        for (int i = 0; i < nops; ++i)
+          self.na().put_notify(*win, buf.data(), bytes, 1, 0, 1);
+        win->flush(1);
+      } else {
+        auto req = self.na().notify_init(*win, 0, 1, nops);
+        self.na().start(req);
+        self.na().wait(req);
+      }
+      self.barrier();
+    });
+    EXPECT_EQ(world.fabric().counters().retries, 0u);
+    EXPECT_EQ(world.fabric().counters().credit_stalls, 0u);
+    return std::pair{world.engine().rank(0).now(),
+                     world.engine().rank(1).now()};
+  };
+
+  Xoshiro256 rng(0xfa017);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const int nops = 1 + static_cast<int>(rng.next_below(8));
+    const auto bytes = static_cast<std::uint32_t>(1 + rng.next_below(4096));
+    const auto a = run_once(nops, bytes, net::OverflowPolicy::kFatal);
+    const auto b = run_once(nops, bytes,
+                            trial % 2 ? net::OverflowPolicy::kBackpressure
+                                      : net::OverflowPolicy::kFatal);
+    ASSERT_EQ(a, b) << "trial " << trial << " nops=" << nops
+                    << " bytes=" << bytes;
+  }
 }

@@ -277,8 +277,8 @@ TEST(MsgTrace, JsonSchemaRoundTripsWithExactSums) {
   EXPECT_EQ(doc.value.number_or("nranks", 0), 2.0);
   const json::Array& msgs = doc.value["messages"].as_array();
   EXPECT_FALSE(msgs.empty());
-  constexpr const char* kCats[] = {"src_overhead", "chan_queue", "gap", "ser",
-                                   "wire", "blocked", "match", "local"};
+  constexpr const char* kCats[] = {"src_overhead", "chan_queue", "gap",  "ser",
+                                   "wire", "blocked", "match", "retry", "local"};
   for (const json::Value& m : msgs) {
     if (!m["complete"].as_bool()) continue;
     const double latency = m.number_or("latency_ps", -1);

@@ -284,7 +284,7 @@ int run_report(const Args& a) {
 /// same order MsgTrace emits them (see src/obs/msgtrace.hpp).
 constexpr const char* kLatCats[] = {"src_overhead", "chan_queue", "gap",
                                     "ser",          "wire",       "blocked",
-                                    "match",        "local"};
+                                    "match",        "retry",      "local"};
 
 int run_critpath(const Args& a) {
   if (!a.kv.count("msgtrace")) {
