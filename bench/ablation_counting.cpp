@@ -23,20 +23,21 @@ double fanin_us(bool counting, int children, int n) {
       self.barrier();
       if (self.id() != parent) {
         const double v = self.id();
-        self.na().put_notify(*win, &v, sizeof(double), parent,
+        self.na().put_notify(*win, na::as_bytes(&v, sizeof(double)), parent,
                              static_cast<std::uint64_t>(self.id()), 1);
         win->flush(parent);
       } else {
         const Time t0 = self.now();
         if (counting) {
           auto req = self.na().notify_init(
-              *win, na::kAnySource, 1, static_cast<std::uint32_t>(children));
+              *win, na::MatchSpec{na::kAnySource, 1},
+              static_cast<std::uint32_t>(children));
           self.na().start(req);
           self.na().wait(req);
           self.na().free(req);
         } else {
           for (int c = 0; c < children; ++c) {
-            auto req = self.na().notify_init(*win, na::kAnySource, 1, 1);
+            auto req = self.na().notify_init(*win, na::MatchSpec{na::kAnySource, 1}, 1);
             self.na().start(req);
             self.na().wait(req);
             self.na().free(req);

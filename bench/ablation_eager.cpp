@@ -54,12 +54,12 @@ int main() {
     world.run([&](Rank& self) {
       auto win = self.win_allocate(s + 16, 1);
       std::vector<std::byte> snd(s, std::byte{1});
-      auto req = self.na().notify_init(*win, 0, 1, 1);
+      auto req = self.na().notify_init(*win, na::MatchSpec{0, 1}, 1);
       for (int r = 0; r < n + 2; ++r) {
         self.barrier();
         if (self.id() == 0) {
           t_na_issue = self.now();
-          self.na().put_notify(*win, snd.data(), s, 1, 0, 1);
+          self.na().put_notify(*win, na::as_bytes(snd.data(), s), 1, 0, 1);
           win->flush(1);
         } else {
           self.na().start(req);

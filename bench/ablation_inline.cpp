@@ -20,12 +20,12 @@ double one_way_us(bool inline_enabled, std::size_t bytes, int n) {
   world.run([&](Rank& self) {
     auto win = self.win_allocate(bytes + 64, 1);
     std::vector<std::byte> snd(bytes, std::byte{3});
-    auto req = self.na().notify_init(*win, 0, 1, 1);
+    auto req = self.na().notify_init(*win, na::MatchSpec{0, 1}, 1);
     for (int r = 0; r < n + 2; ++r) {
       self.barrier();
       if (self.id() == 0) {
         t_issue = self.now();
-        self.na().put_notify(*win, snd.data(), bytes, 1, 0, 1);
+        self.na().put_notify(*win, na::as_bytes(snd.data(), bytes), 1, 0, 1);
         win->flush(1);
       } else {
         self.na().start(req);

@@ -31,8 +31,8 @@ Probe measure(int parked, na::Matcher matcher) {
       // `parked` notifications with tag 1 (never matched by the probe
       // request), then one with tag 2.
       for (int i = 0; i < parked; ++i)
-        self.na().put_notify(*win, nullptr, 0, 1, 0, 1);
-      self.na().put_notify(*win, nullptr, 0, 1, 0, 2);
+        self.na().put_notify(*win, na::as_bytes(nullptr, 0), 1, 0, 1);
+      self.na().put_notify(*win, na::as_bytes(nullptr, 0), 1, 0, 2);
       win->flush(1);
       self.barrier();
       self.barrier();
@@ -41,7 +41,7 @@ Probe measure(int parked, na::Matcher matcher) {
       // Park the tag-1 notifications in the UQ by completing a tag-2
       // request once.
       {
-        auto r2 = self.na().notify_init(*win, 0, 2, 1);
+        auto r2 = self.na().notify_init(*win, na::MatchSpec{0, 2}, 1);
         self.na().start(r2);
         self.na().wait(r2);
       }
@@ -49,7 +49,7 @@ Probe measure(int parked, na::Matcher matcher) {
       self.barrier();
       // Measure a request for tag 3 (no match): the linear engine scans
       // everything and fails; the indexed engine fails after one lookup.
-      auto r3 = self.na().notify_init(*win, 0, 3, 1);
+      auto r3 = self.na().notify_init(*win, na::MatchSpec{0, 3}, 1);
       self.na().start(r3);
       cachesim::Cache cache = cachesim::make_l1d();
       cache.invalidate_all();

@@ -54,12 +54,12 @@ double na_oneway(std::size_t bytes, double compute_us, int n) {
   world.run([&](Rank& self) {
     auto win = self.win_allocate(bytes, 1);
     std::vector<std::byte> buf(bytes);
-    auto req = self.na().notify_init(*win, 0, 1, 1);
+    auto req = self.na().notify_init(*win, na::MatchSpec{0, 1}, 1);
     for (int r = 0; r < n + 1; ++r) {
       self.barrier();
       if (self.id() == 0) {
         t0 = self.now();
-        self.na().put_notify(*win, buf.data(), bytes, 1, 0, 1);
+        self.na().put_notify(*win, na::as_bytes(buf.data(), bytes), 1, 0, 1);
         self.compute(us(compute_us));
         win->flush(1);
       } else {

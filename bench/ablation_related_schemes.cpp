@@ -63,8 +63,9 @@ Result run(SchemeKind kind, int producers, int msgs, std::size_t bytes) {
         const std::uint64_t disp = static_cast<std::uint64_t>(id) * bytes;
         switch (kind) {
           case SchemeKind::kNotified:
-            self.na().put_notify(*data_win, payload.data(), bytes, consumer,
-                                 disp, static_cast<int>(id));
+            self.na().put_notify(*data_win,
+                                 na::as_bytes(payload.data(), bytes),
+                                 consumer, disp, static_cast<int>(id));
             break;
           case SchemeKind::kOverwriting:
             over.notify_put(*data_win, payload.data(), bytes, consumer, disp,
@@ -96,8 +97,8 @@ Result run(SchemeKind kind, int producers, int msgs, std::size_t bytes) {
       };
       switch (kind) {
         case SchemeKind::kNotified: {
-          auto req = self.na().notify_init(*data_win, na::kAnySource,
-                                           na::kAnyTag, 1);
+          auto req = self.na().notify_init(
+              *data_win, na::MatchSpec{na::kAnySource, na::kAnyTag}, 1);
           for (std::uint32_t i = 0; i < total; ++i) {
             self.na().start(req);
             na::NaStatus st;

@@ -46,7 +46,7 @@ double round_us(std::size_t bytes, Scheme scheme, Time compute, int n) {
   world.run([&](Rank& self) {
     auto win = self.win_allocate(bytes + 16, 1);
     std::vector<std::byte> snd(bytes, std::byte{2});
-    auto req = self.na().notify_init(*win, 0, 1, 1);
+    auto req = self.na().notify_init(*win, na::MatchSpec{0, 1}, 1);
     for (int r = 0; r < n + 1; ++r) {
       self.barrier();
       if (self.id() == 0) {
@@ -67,7 +67,7 @@ double round_us(std::size_t bytes, Scheme scheme, Time compute, int n) {
             win->fence();
             break;
           case Scheme::kNotified:
-            self.na().put_notify(*win, snd.data(), bytes, 1, 0, 1);
+            self.na().put_notify(*win, na::as_bytes(snd.data(), bytes), 1, 0, 1);
             self.compute(compute);
             win->flush(1);
             break;

@@ -55,7 +55,7 @@ inline double pingpong_half_rtt_us(WorldParams wp, std::size_t bytes,
     std::vector<std::byte> snd(bytes + 16, std::byte{1});
 
     na::NotifyRequest req =
-        self.na().notify_init(*win, partner, kTag, 1);
+        self.na().notify_init(*win, na::MatchSpec{partner, kTag}, 1);
 
     auto iteration = [&] {
       switch (scheme) {
@@ -89,15 +89,14 @@ inline double pingpong_half_rtt_us(WorldParams wp, std::size_t bytes,
 
         case PpScheme::kNotifiedPut:  // Listing 1
           if (client) {
-            self.na().put_notify(*win, snd.data(), bytes, partner, 0, kTag);
+            self.na().put_notify(*win, na::as_bytes(snd.data(), bytes), partner, 0, kTag);
             win->flush(partner);
             self.na().start(req);
             self.na().wait(req);
           } else {
             self.na().start(req);
             self.na().wait(req);
-            self.na().put_notify(*win, snd.data(), bytes, partner, bytes,
-                                 kTag);
+            self.na().put_notify(*win, na::as_bytes(snd.data(), bytes), partner, bytes, kTag);
             win->flush(partner);
           }
           break;
@@ -122,15 +121,16 @@ inline double pingpong_half_rtt_us(WorldParams wp, std::size_t bytes,
 
         case PpScheme::kNotifiedGet:
           if (client) {
-            self.na().get_notify(*win, snd.data(), bytes, partner, 0, kTag);
+            self.na().get_notify(*win, na::as_writable_bytes(snd.data(), bytes), partner, 0, kTag);
             win->flush(partner);
             self.na().start(req);
             self.na().wait(req);  // partner read our half back
           } else {
             self.na().start(req);
             self.na().wait(req);  // our buffer was read; now pull theirs
-            self.na().get_notify(*win, snd.data(), bytes, partner, bytes,
-                                 kTag);
+            self.na().get_notify(*win,
+                                 na::as_writable_bytes(snd.data(), bytes),
+                                 partner, bytes, kTag);
             win->flush(partner);
           }
           break;

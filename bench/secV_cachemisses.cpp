@@ -41,13 +41,13 @@ MissResult measure(int active, na::Matcher matcher) {
     if (self.id() == 0) {
       self.barrier();
       for (int i = 0; i < active; ++i)
-        self.na().put_notify(*win, nullptr, 0, 1, 0, /*tag=*/i);
+        self.na().put_notify(*win, na::as_bytes(nullptr, 0), 1, 0, /*tag=*/i);
       win->flush(1);
       self.barrier();
     } else {
       std::vector<na::NotifyRequest> reqs;
       for (int i = 0; i < active; ++i)
-        reqs.push_back(self.na().notify_init(*win, 0, i, 1));
+        reqs.push_back(self.na().notify_init(*win, na::MatchSpec{0, i}, 1));
       for (auto& r : reqs) self.na().start(r);
       self.barrier();
       // Let every notification arrive before measuring.

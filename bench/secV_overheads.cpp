@@ -29,7 +29,7 @@ int main() {
         std::vector<na::NotifyRequest> reqs;
         reqs.reserve(kIters);
         for (int i = 0; i < kIters; ++i)
-          reqs.push_back(self.na().notify_init(*win, 1, 1, 1));
+          reqs.push_back(self.na().notify_init(*win, na::MatchSpec{1, 1}, 1));
         const Time b = self.now();
         for (auto& r : reqs) self.na().free(r);
         const Time c = self.now();
@@ -38,7 +38,7 @@ int main() {
       }
       // t_start.
       {
-        auto req = self.na().notify_init(*win, 1, 1, 1);
+        auto req = self.na().notify_init(*win, na::MatchSpec{1, 1}, 1);
         const Time a = self.now();
         for (int i = 0; i < kIters; ++i) self.na().start(req);
         t_start = to_us(self.now() - a) / kIters;
@@ -48,13 +48,13 @@ int main() {
         double v = 1.0;
         const Time a = self.now();
         for (int i = 0; i < kIters; ++i)
-          self.na().put_notify(*win, &v, 8, 1, 0, 2);
+          self.na().put_notify(*win, na::as_bytes(&v, 8), 1, 0, 2);
         t_na = to_us(self.now() - a) / kIters;
         win->flush(1);
       }
     } else {
       // o_r: completing-test overhead with the notification already there.
-      auto req = self.na().notify_init(*win, 0, 2, 1);
+      auto req = self.na().notify_init(*win, na::MatchSpec{0, 2}, 1);
       self.nic().wait_until([&] { return !self.nic().dest_cq().empty(); },
                             "first-arrival");
       // Let all notifications arrive so each test completes immediately.

@@ -30,12 +30,12 @@ double one_way_us(WorldParams wp, std::size_t bytes, int n) {
   world.run([&](Rank& self) {
     auto win = self.win_allocate(bytes + 64, 1);
     std::vector<std::byte> snd(bytes, std::byte{1});
-    auto req = self.na().notify_init(*win, 0, 5, 1);
+    auto req = self.na().notify_init(*win, na::MatchSpec{0, 5}, 1);
     for (int r = 0; r < n + 2; ++r) {
       self.barrier();
       if (self.id() == 0) {
         t_issue = self.now();
-        self.na().put_notify(*win, snd.data(), bytes, 1, 0, 5);
+        self.na().put_notify(*win, na::as_bytes(snd.data(), bytes), 1, 0, 5);
         win->flush(1);
       } else {
         self.na().start(req);
@@ -93,19 +93,19 @@ int main() {
   Table t({"transport", "L fit (us)", "L cfg (us)", "L paper (us)",
            "G fit (ns/B)", "G cfg (ns/B)", "G paper (ns/B)", "fit R^2"});
   t.add_row({"SharedMemory", Table::fmt(shm.fit.L_us, 3),
-             Table::fmt(to_us(intra.fabric.shm.L), 3), "0.250",
+             Table::fmt(to_us(intra.fabric.shm.timing.L), 3), "0.250",
              Table::fmt(shm.fit.G_ns_per_byte, 3),
-             Table::fmt(intra.fabric.shm.G_ps_per_byte / 1000.0, 3), "0.080",
+             Table::fmt(intra.fabric.shm.timing.G_ps_per_byte / 1000.0, 3), "0.080",
              Table::fmt(shm.r2, 5)});
   t.add_row({"uGNI-FMA", Table::fmt(fma.fit.L_us, 3),
-             Table::fmt(to_us(fp.fma.L), 3), "1.020",
+             Table::fmt(to_us(fp.aries.fma.L), 3), "1.020",
              Table::fmt(fma.fit.G_ns_per_byte, 3),
-             Table::fmt(fp.fma.G_ps_per_byte / 1000.0, 3), "0.105",
+             Table::fmt(fp.aries.fma.G_ps_per_byte / 1000.0, 3), "0.105",
              Table::fmt(fma.r2, 5)});
   t.add_row({"uGNI-BTE", Table::fmt(bte.fit.L_us, 3),
-             Table::fmt(to_us(fp.bte.L), 3), "1.320",
+             Table::fmt(to_us(fp.aries.bte.L), 3), "1.320",
              Table::fmt(bte.fit.G_ns_per_byte, 3),
-             Table::fmt(fp.bte.G_ps_per_byte / 1000.0, 3), "0.101",
+             Table::fmt(fp.aries.bte.G_ps_per_byte / 1000.0, 3), "0.101",
              Table::fmt(bte.r2, 5)});
   narma::bench::print(t);
   note("fit intercepts include the per-message injection gap g and (shm) "

@@ -29,11 +29,10 @@ void pipeline_push(Rank& self) {
 
   // Credits: downstream returns the slot tag with a zero-byte notified put
   // once it has drained the slot (backpressure without extra state).
-  auto data_req = me > 0 ? self.na().notify_init(*win, me - 1, na::kAnyTag,
-                                                 1)
+  auto data_req = me > 0 ? self.na().notify_init(*win, na::MatchSpec{me - 1, na::kAnyTag}, 1)
                          : na::NotifyRequest{};
   auto credit_req = me < self.size() - 1
-                        ? self.na().notify_init(*win, me + 1, na::kAnyTag, 1)
+                        ? self.na().notify_init(*win, na::MatchSpec{me + 1, na::kAnyTag}, 1)
                         : na::NotifyRequest{};
 
   // Per-slot staging: a slot's staging buffer is only rewritten once the
@@ -73,12 +72,13 @@ void pipeline_push(Rank& self) {
                             static_cast<std::size_t>(slot) * kSlot;
         std::copy(src, src + kSlot, item.begin());
       }
-      self.na().put_notify(*win, item.data(), kSlot * sizeof(double),
-                           me + 1,
-                           static_cast<std::uint64_t>(slot) * kSlot, slot);
+      self.na().put_notify(*win,
+                           na::as_bytes(item.data(), kSlot * sizeof(double)),
+                           me + 1, static_cast<std::uint64_t>(slot) * kSlot,
+                           slot);
     }
     // Return the credit upstream (zero-byte pure notification).
-    if (me > 0) self.na().put_notify(*win, nullptr, 0, me - 1, 0, slot);
+    if (me > 0) self.na().put_notify(*win, na::as_bytes(nullptr, 0), me - 1, 0, slot);
   }
   // Drain remaining credits so producers' buffers are accounted for.
   if (me < self.size() - 1) {
@@ -106,19 +106,19 @@ void consumer_pull(Rank& self) {
   constexpr int kPulls = 8;
 
   if (self.id() == 0) {
-    auto read_req = self.na().notify_init(*win, 1, na::kAnyTag, 1);
+    auto read_req = self.na().notify_init(*win, na::MatchSpec{1, na::kAnyTag}, 1);
     auto mem = win->local<double>();
     for (int i = 0; i < kPulls; ++i) {
       for (std::size_t d = 0; d < kSlot; ++d) mem[d] = i * 10.0;
       // Tell the consumer an item is ready (pure notification)...
-      self.na().put_notify(*win, nullptr, 0, 1, 0, i);
+      self.na().put_notify(*win, na::as_bytes(nullptr, 0), 1, 0, i);
       // ...and wait until it has *read* the buffer before overwriting.
       self.na().start(read_req);
       self.na().wait(read_req);
     }
     win->flush_all();
   } else if (self.id() == 1) {
-    auto ready_req = self.na().notify_init(*win, 0, na::kAnyTag, 1);
+    auto ready_req = self.na().notify_init(*win, na::MatchSpec{0, na::kAnyTag}, 1);
     std::vector<double> item(kSlot);
     double total = 0;
     for (int i = 0; i < kPulls; ++i) {
@@ -126,8 +126,9 @@ void consumer_pull(Rank& self) {
       na::NaStatus st;
       self.na().wait(ready_req, &st);
       // Pull the item; the get's notification frees the producer.
-      self.na().get_notify(*win, item.data(), kSlot * sizeof(double), 0, 0,
-                           st.tag);
+      self.na().get_notify(
+          *win, na::as_writable_bytes(item.data(), kSlot * sizeof(double)), 0,
+          0, st.tag);
       win->flush(0);
       total += item[0];
     }

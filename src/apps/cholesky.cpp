@@ -47,7 +47,8 @@ class CholeskyRun {
     notif[0] = 1;  // next free coordinate slot (reserved via fetch-add)
 
     if (cfg_.variant == CholeskyVariant::kNotified) {
-      req_ = self_.na().notify_init(*tile_win_, na::kAnySource, na::kAnyTag,
+      req_ = self_.na().notify_init(*tile_win_,
+                                    na::MatchSpec{na::kAnySource, na::kAnyTag},
                                     1);
     }
   }
@@ -106,7 +107,8 @@ class CholeskyRun {
             self_.mp().isend(tile(i, k), tile_bytes_, child, coord));
         break;
       case CholeskyVariant::kNotified:
-        self_.na().put_notify(*tile_win_, tile(i, k), tile_bytes_, child,
+        self_.na().put_notify(*tile_win_, na::as_bytes(tile(i, k), tile_bytes_),
+                              child,
                               tile_disp(i, k), coord);
         break;
       case CholeskyVariant::kOneSided: {

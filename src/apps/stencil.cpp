@@ -141,9 +141,9 @@ StencilResult run_stencil(Rank& self, const StencilConfig& cfg) {
   na::NotifyRequest req_ghost, req_feedback;
   if (cfg.variant == StencilVariant::kNotified) {
     if (!t.first_rank)
-      req_ghost = self.na().notify_init(*win, t.left, kGhostTag, 1);
+      req_ghost = self.na().notify_init(*win, na::MatchSpec{t.left, kGhostTag}, 1);
     if (t.first_rank && t.n > 1)
-      req_feedback = self.na().notify_init(*win, t.last, kFeedbackTag, 1);
+      req_feedback = self.na().notify_init(*win, na::MatchSpec{t.last, kFeedbackTag}, 1);
   }
 
   double feedback_buf = 0;  // stable source buffer for the feedback put
@@ -264,13 +264,16 @@ StencilResult run_stencil(Rank& self, const StencilConfig& cfg) {
           }
           update_row_charged(r);
           if (!t.last_rank)
-            self.na().put_notify(*win, &g.at(r, W), sizeof(double), t.right,
+            self.na().put_notify(*win, na::as_bytes(&g.at(r, W), sizeof(double)),
+                                 t.right,
                                  right_ghost_disp(r), kGhostTag);
         }
         if (t.n > 1) {
           if (t.last_rank) {
             feedback_buf = -g.at(cfg.rows - 1, W);
-            self.na().put_notify(*win, &feedback_buf, sizeof(double), 0,
+            self.na().put_notify(*win,
+                                 na::as_bytes(&feedback_buf, sizeof(double)),
+                                 0,
                                  corner_disp, kFeedbackTag);
           }
           if (t.first_rank) {

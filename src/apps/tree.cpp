@@ -53,7 +53,7 @@ TreeResult run_tree(Rank& self, const TreeConfig& cfg) {
   // Counting notification: one request covers all children (any source).
   na::NotifyRequest req;
   if (cfg.variant == TreeVariant::kNotified && !topo.children.empty()) {
-    req = self.na().notify_init(*win, na::kAnySource, kTreeTag,
+    req = self.na().notify_init(*win, na::MatchSpec{na::kAnySource, kTreeTag},
                                 static_cast<std::uint32_t>(
                                     topo.children.size()));
   }
@@ -129,7 +129,7 @@ TreeResult run_tree(Rank& self, const TreeConfig& cfg) {
             combine_slot(c);
         }
         if (topo.parent >= 0) {
-          self.na().put_notify(*win, acc.data(), bytes, topo.parent,
+          self.na().put_notify(*win, na::as_bytes(acc.data(), bytes), topo.parent,
                                static_cast<std::uint64_t>(
                                    topo.slot_in_parent) *
                                    cfg.elems,

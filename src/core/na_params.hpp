@@ -18,8 +18,7 @@ constexpr int kAnyTag = -1;
 
 /// Matching predicate of a notification request or probe: a <source, tag>
 /// pair where either side may be a wildcard. This is the public vocabulary
-/// type of the matching API (notify_init / iprobe / probe); the old
-/// (int source, int tag) signatures remain as deprecated shims.
+/// type of the matching API (notify_init / iprobe / probe).
 struct MatchSpec {
   int source = kAnySource;
   int tag = kAnyTag;

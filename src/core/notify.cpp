@@ -187,7 +187,12 @@ void NaEngine::put_notify(rma::Window& win, std::span<const std::byte> src,
   const std::uint64_t offset = win.byte_offset(target_disp);
   net::Fabric& fabric = nic.fabric();
 
-  if (fabric.same_node(nic.rank(), target)) {
+  // The routed backend decides how the notification surfaces; only the
+  // shm-ring model takes the XPMEM software path below — every other model
+  // (dest-CQ CQE, counting completion, write-with-immediate) is handled
+  // inside the NIC behind the backend-neutral NotifyAttr.
+  if (fabric.backend_for(nic.rank(), target).notify_model() ==
+      net::NotifyModel::kShmRing) {
     // XPMEM path (paper Sec. IV-C): a cache-line notification ring entry.
     net::ShmNotification n;
     n.imm = imm;
@@ -213,8 +218,10 @@ void NaEngine::put_notify(rma::Window& win, std::span<const std::byte> src,
     return;
   }
 
-  // uGNI path: RDMA put with the immediate posted to the destination CQ.
-  net::Nic::NotifyAttr na{true, imm, win.id()};
+  // Hardware notification path: RDMA put with the immediate surfaced by
+  // the routed backend (uGNI dest-CQ CQE, RAMC counting completion, verbs
+  // write-with-immediate).
+  net::NotifyAttr na{true, imm, win.id()};
   na.msg = mid;
   nic.put(target, win.remote_key(target), offset, src.data(), bytes, na,
           &win.pending(target));
@@ -249,7 +256,7 @@ void NaEngine::put_notify_strided(rma::Window& win,
   // Noncontiguous notified accesses always use the CQE path (one
   // notification for the whole shape); the shm inline optimization only
   // applies to small contiguous payloads.
-  net::Nic::NotifyAttr na{true, imm, win.id()};
+  net::NotifyAttr na{true, imm, win.id()};
   na.msg = mid;
   nic.put_iov(target, win.remote_key(target), segs, na,
               &win.pending(target));
@@ -268,7 +275,7 @@ void NaEngine::get_notify(rma::Window& win, std::span<std::byte> dst,
   // Both inter- and intra-node notified gets use the destination-CQ path:
   // uGNI immediates are available for reads too (unlike InfiniBand, paper
   // Sec. IV-A), and the target polls both queues anyway.
-  net::Nic::NotifyAttr na{true, imm, win.id()};
+  net::NotifyAttr na{true, imm, win.id()};
   na.msg = mid;
   nic.get(target, win.remote_key(target), win.byte_offset(target_disp),
           dst.data(), dst.size(), na, &win.pending(target));
@@ -284,7 +291,7 @@ void NaEngine::fetch_add_notify_i64(rma::Window& win, int target,
   nic.ctx().advance(params_.t_na);
   trace_issue(nic, mid);
   const std::uint32_t imm = net::encode_imm(nic.rank(), tag);
-  net::Nic::NotifyAttr na{true, imm, win.id()};
+  net::NotifyAttr na{true, imm, win.id()};
   na.msg = mid;
   nic.atomic(target, win.remote_key(target), win.byte_offset(target_disp),
              net::Nic::AtomicOp::kAddI64, v, 0, result, na,
@@ -303,7 +310,7 @@ void NaEngine::compare_swap_notify_i64(rma::Window& win, int target,
   nic.ctx().advance(params_.t_na);
   trace_issue(nic, mid);
   const std::uint32_t imm = net::encode_imm(nic.rank(), tag);
-  net::Nic::NotifyAttr na{true, imm, win.id()};
+  net::NotifyAttr na{true, imm, win.id()};
   na.msg = mid;
   nic.atomic(target, win.remote_key(target), win.byte_offset(target_disp),
              net::Nic::AtomicOp::kCasI64, desired, compare, result, na,
@@ -384,6 +391,10 @@ bool NaEngine::pop_hw(UqEntry& out) {
   out.seq = next_seq_++;
   c_hw_drained_.inc();
   nic.ctx().advance(params_.cq_poll);
+  // Backend-specific drain cost (RAMC ring-slot pop, verbs RQE repost);
+  // zero for shm/aries, so the default path advances by nothing.
+  if (const Time c = nic.fabric().consume_overhead(n.backend))
+    nic.ctx().advance(c);
   if (n.msg)
     if (auto* mt = nic.fabric().msgtrace())
       mt->hop(n.msg, rank(), obs::HopKind::kPop, nic.ctx().now());
@@ -400,6 +411,12 @@ std::size_t NaEngine::drain_hw(std::span<net::HwNotification> out) {
   if (n == 0) return 0;
   c_hw_drained_.inc(n);
   nic.ctx().advance(params_.cq_poll + (n - 1) * params_.cq_poll_batch);
+  // Backend-specific per-entry drain costs (RAMC ring-slot pop, verbs RQE
+  // repost); zero on the default shm/aries path.
+  Time consume = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    consume += nic.fabric().consume_overhead(out[i].backend);
+  if (consume) nic.ctx().advance(consume);
   if (auto* mt = nic.fabric().msgtrace()) {
     const Time now = nic.ctx().now();
     for (std::size_t i = 0; i < n; ++i)

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -47,6 +48,17 @@
 #include "rma/window.hpp"
 
 namespace narma::na {
+
+/// Views an untyped buffer as the byte span the NA entry points consume.
+/// Replaces the pre-MatchSpec raw-pointer overloads: callers say
+/// `na.put_notify(win, as_bytes(&v, 8), ...)` instead of relying on an
+/// implicit shim.
+inline std::span<const std::byte> as_bytes(const void* p, std::size_t bytes) {
+  return {static_cast<const std::byte*>(p), bytes};
+}
+inline std::span<std::byte> as_writable_bytes(void* p, std::size_t bytes) {
+  return {static_cast<std::byte*>(p), bytes};
+}
 
 /// The hot per-request state. Mirrors the paper's 32-byte persistent request
 /// ("two 8-byte values for the window and rank, two 4-byte values for tag
@@ -217,29 +229,6 @@ class NaEngine {
                           std::uint64_t target_disp,
                           std::uint64_t target_stride, int tag);
 
-  /// Deprecated raw-pointer shims; prefer the std::span overloads above.
-  void put_notify(rma::Window& win, const void* src, std::size_t bytes,
-                  int target, std::uint64_t target_disp, int tag) {
-    put_notify(win, {static_cast<const std::byte*>(src), bytes}, target,
-               target_disp, tag);
-  }
-  void get_notify(rma::Window& win, void* dst, std::size_t bytes, int target,
-                  std::uint64_t target_disp, int tag) {
-    get_notify(win, {static_cast<std::byte*>(dst), bytes}, target,
-               target_disp, tag);
-  }
-  void put_notify_strided(rma::Window& win, const void* src,
-                          std::size_t block_bytes, std::size_t nblocks,
-                          std::size_t src_stride_bytes, int target,
-                          std::uint64_t target_disp,
-                          std::uint64_t target_stride, int tag) {
-    const std::size_t extent =
-        nblocks ? (nblocks - 1) * src_stride_bytes + block_bytes : 0;
-    put_notify_strided(win, {static_cast<const std::byte*>(src), extent},
-                       block_bytes, nblocks, src_stride_bytes, target,
-                       target_disp, target_stride, tag);
-  }
-
   /// Notified fetch-and-add (the accumulate family of the strawman API).
   void fetch_add_notify_i64(rma::Window& win, int target,
                             std::uint64_t target_disp, std::int64_t v,
@@ -258,12 +247,6 @@ class NaEngine {
   /// whose <source, tag> satisfies `match` on `win`.
   NotifyRequest notify_init(rma::Window& win, MatchSpec match,
                             std::uint32_t expected);
-
-  /// Deprecated (int source, int tag) shim; prefer the MatchSpec overload.
-  NotifyRequest notify_init(rma::Window& win, int source, int tag,
-                            std::uint32_t expected) {
-    return notify_init(win, MatchSpec{source, tag}, expected);
-  }
 
   /// Re-arms a persistent request (resets the matched counter).
   void start(NotifyRequest& req);
@@ -295,14 +278,6 @@ class NaEngine {
 
   /// Blocking probe: waits until a matching notification is available.
   NaStatus probe(rma::Window& win, MatchSpec match);
-
-  /// Deprecated (int source, int tag) probe shims.
-  bool iprobe(rma::Window& win, int source, int tag, NaStatus* status) {
-    return iprobe(win, MatchSpec{source, tag}, status);
-  }
-  NaStatus probe(rma::Window& win, int source, int tag) {
-    return probe(win, MatchSpec{source, tag});
-  }
 
   // --- Introspection / instrumentation -----------------------------------------
 

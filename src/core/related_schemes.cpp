@@ -68,7 +68,7 @@ void CountingNotifier::signaling_put(rma::Window& data_win, const void* src,
   auto* peer = reinterpret_cast<CountingNotifier*>(
       peers_[static_cast<std::size_t>(target)]);
   NARMA_CHECK(counter < peer->counters_.size());
-  net::Nic::NotifyAttr attr;
+  net::NotifyAttr attr;
   attr.remote_delivered = &peer->counters_[counter];
   ++peer->counters_[counter].issued;  // accounted at the target side
   // Balance the issue counter: remote_delivered only bumps `completed`;

@@ -20,6 +20,13 @@ WorldParams resolve_params(WorldParams p) {
     p.fabric.faults.overflow_policy = net::OverflowPolicy::kFatal;
   if (o == "backpressure")
     p.fabric.faults.overflow_policy = net::OverflowPolicy::kBackpressure;
+  // Inter-node transport backend (see net::TransportBackend and DESIGN.md
+  // §11). Unknown values keep the configured backend; shm is not a valid
+  // inter-node transport, so it is not accepted here.
+  const std::string tr = env::get_string("NARMA_TRANSPORT", "");
+  if (tr == "aries") p.fabric.inter_node = net::BackendKind::kAries;
+  if (tr == "ramc") p.fabric.inter_node = net::BackendKind::kRamc;
+  if (tr == "verbs") p.fabric.inter_node = net::BackendKind::kVerbs;
   net::FaultParams& f = p.fabric.faults;
   f.seed = static_cast<std::uint64_t>(
       env::get_int("NARMA_FAULT_SEED", static_cast<std::int64_t>(f.seed)));

@@ -296,7 +296,7 @@ void Endpoint::handle_cts(net::NetMsg&& m) {
       mt->hop(m.msg, rank(), obs::HopKind::kIssue, ctx.now());
   // RDMA the payload straight into the receiver's registered buffer; the
   // receiver's NIC raises its delivery completion when the data commits.
-  net::Nic::NotifyAttr attr;
+  net::NotifyAttr attr;
   attr.remote_delivered =
       reinterpret_cast<net::PendingOps*>(m.h2);
   attr.msg = m.msg;
@@ -319,7 +319,7 @@ void Endpoint::handle_cts_async(net::NetMsg&& m) {
   if (m.msg)
     if (auto* mt = router_.nic().fabric().msgtrace())
       mt->hop(m.msg, rank(), obs::HopKind::kIssue, m.time + params_.o_rts);
-  net::Nic::NotifyAttr attr;
+  net::NotifyAttr attr;
   attr.remote_delivered = reinterpret_cast<net::PendingOps*>(m.h2);
   attr.msg = m.msg;
   router_.nic().put_at(m.time + params_.o_rts, m.src,

@@ -24,10 +24,12 @@ namespace narma {
 // Notified-Access vocabulary types, re-exported at the top level so user
 // code can say narma::MatchSpec / narma::NaStatus without reaching into
 // the na:: namespace.
-using na::kAnySource;  // NOLINT(misc-unused-using-decls)
-using na::kAnyTag;     // NOLINT(misc-unused-using-decls)
-using na::MatchSpec;   // NOLINT(misc-unused-using-decls)
-using na::NaStatus;    // NOLINT(misc-unused-using-decls)
-using na::NotifyRequest;  // NOLINT(misc-unused-using-decls)
+using na::as_bytes;           // NOLINT(misc-unused-using-decls)
+using na::as_writable_bytes;  // NOLINT(misc-unused-using-decls)
+using na::kAnySource;         // NOLINT(misc-unused-using-decls)
+using na::kAnyTag;            // NOLINT(misc-unused-using-decls)
+using na::MatchSpec;          // NOLINT(misc-unused-using-decls)
+using na::NaStatus;           // NOLINT(misc-unused-using-decls)
+using na::NotifyRequest;      // NOLINT(misc-unused-using-decls)
 
 }  // namespace narma

@@ -1,0 +1,120 @@
+#include "net/backend.hpp"
+
+#include "common/assert.hpp"
+
+namespace narma::net {
+
+namespace {
+
+class ShmBackend final : public TransportBackend {
+ public:
+  explicit ShmBackend(const ShmBackendParams& p) : p_(p) {}
+  BackendKind kind() const override { return BackendKind::kShm; }
+  const char* name() const override { return "shm"; }
+  NotifyModel notify_model() const override { return NotifyModel::kShmRing; }
+  Transport lane(std::size_t) const override { return Transport::kShm; }
+  std::span<const Transport> lanes() const override {
+    static constexpr Transport kLanes[] = {Transport::kShm};
+    return kLanes;
+  }
+  const TransportTiming& timing(Transport) const override {
+    return p_.timing;
+  }
+  NotifyCosts notify_costs() const override { return {}; }
+
+ private:
+  ShmBackendParams p_;
+};
+
+class AriesBackend final : public TransportBackend {
+ public:
+  explicit AriesBackend(const AriesParams& p) : p_(p) {}
+  BackendKind kind() const override { return BackendKind::kAries; }
+  const char* name() const override { return "aries"; }
+  NotifyModel notify_model() const override { return NotifyModel::kDestCqe; }
+  Transport lane(std::size_t bytes) const override {
+    return bytes >= p_.fma_bte_threshold ? Transport::kBte : Transport::kFma;
+  }
+  std::span<const Transport> lanes() const override {
+    static constexpr Transport kLanes[] = {Transport::kFma, Transport::kBte};
+    return kLanes;
+  }
+  const TransportTiming& timing(Transport lane) const override {
+    return lane == Transport::kBte ? p_.bte : p_.fma;
+  }
+  NotifyCosts notify_costs() const override { return {}; }
+
+ private:
+  AriesParams p_;
+};
+
+class RamcBackend final : public TransportBackend {
+ public:
+  explicit RamcBackend(const RamcParams& p) : p_(p) {}
+  BackendKind kind() const override { return BackendKind::kRamc; }
+  const char* name() const override { return "ramc"; }
+  NotifyModel notify_model() const override { return NotifyModel::kCounting; }
+  Transport lane(std::size_t bytes) const override {
+    return bytes <= p_.idc_max_bytes ? Transport::kIdc : Transport::kDma;
+  }
+  std::span<const Transport> lanes() const override {
+    static constexpr Transport kLanes[] = {Transport::kIdc, Transport::kDma};
+    return kLanes;
+  }
+  const TransportTiming& timing(Transport lane) const override {
+    return lane == Transport::kDma ? p_.dma : p_.idc;
+  }
+  NotifyCosts notify_costs() const override {
+    NotifyCosts c;
+    c.consume = p_.ring_pop;
+    c.desc_bytes = p_.desc_bytes;
+    c.commit = p_.counter_update;
+    c.graceful_overflow = true;
+    return c;
+  }
+
+ private:
+  RamcParams p_;
+};
+
+class VerbsBackend final : public TransportBackend {
+ public:
+  explicit VerbsBackend(const VerbsParams& p) : p_(p) {}
+  BackendKind kind() const override { return BackendKind::kVerbs; }
+  const char* name() const override { return "verbs"; }
+  NotifyModel notify_model() const override { return NotifyModel::kWriteImm; }
+  Transport lane(std::size_t) const override { return Transport::kRdma; }
+  std::span<const Transport> lanes() const override {
+    static constexpr Transport kLanes[] = {Transport::kRdma};
+    return kLanes;
+  }
+  const TransportTiming& timing(Transport) const override { return p_.rdma; }
+  NotifyCosts notify_costs() const override {
+    NotifyCosts c;
+    c.consume = p_.rq_repost;
+    c.graceful_overflow = true;
+    return c;
+  }
+
+ private:
+  VerbsParams p_;
+};
+
+}  // namespace
+
+std::unique_ptr<TransportBackend> make_backend(BackendKind kind,
+                                               const FabricParams& params) {
+  switch (kind) {
+    case BackendKind::kShm:
+      return std::make_unique<ShmBackend>(params.shm);
+    case BackendKind::kAries:
+      return std::make_unique<AriesBackend>(params.aries);
+    case BackendKind::kRamc:
+      return std::make_unique<RamcBackend>(params.ramc);
+    case BackendKind::kVerbs:
+      return std::make_unique<VerbsBackend>(params.verbs);
+  }
+  NARMA_FATAL("unknown backend kind") << static_cast<int>(kind);
+}
+
+}  // namespace narma::net

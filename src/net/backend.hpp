@@ -1,0 +1,80 @@
+// Pluggable transport backends.
+//
+// A TransportBackend bundles everything that differs between fabrics with
+// different notification semantics: which injection lane a payload uses,
+// the LogGP table of each lane, how a notified access surfaces at the
+// target, what the consumer pays to drain one notification, and whether a
+// full delivery queue is absorbed or fatal. The fabric routes every
+// (source, destination) rank pair to one backend — intra-node pairs to the
+// shared-memory backend, inter-node pairs per FabricParams::inter_node or
+// the heterogeneous FabricParams::route policy — so one job can mix shm
+// with two different inter-node fabrics.
+//
+// Notification semantics per backend:
+//
+//   backend | model     | target-side mechanism              | overflow
+//   --------+-----------+------------------------------------+-----------
+//   shm     | kShmRing  | cache-line entry in a shared ring, | fatal*
+//           |           | small payloads inline              |
+//   aries   | kDestCqe  | per-message CQE with a 32-bit      | fatal*
+//           |           | immediate on the destination CQ    |
+//   ramc    | kCounting | data leg + 64 B ring-entry         | absorbed
+//           |           | descriptor leg; a counting         | (spill +
+//           |           | completion (counter update) makes  | retry)
+//           |           | the notification visible           |
+//   verbs   | kWriteImm | RDMA write-with-immediate CQE; the | absorbed
+//           |           | consumer reposts one RQE per       | (RNR-NAK-
+//           |           | notification drained               | style retry)
+//
+//   * under OverflowPolicy::kFatal; kBackpressure upgrades every backend to
+//     credited graceful delivery (DESIGN.md §10).
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "net/params.hpp"
+
+namespace narma::net {
+
+/// Notification-cost profile of one backend; all zeros/false for backends
+/// whose notifications are free beyond the wire legs (shm, aries).
+struct NotifyCosts {
+  /// Charged to the consumer per notification drained (RAMC ring-slot pop,
+  /// verbs RQE repost).
+  Time consume = 0;
+  /// Wire bytes of a separate descriptor leg (kCounting model only).
+  std::size_t desc_bytes = 0;
+  /// Target-NIC cost between descriptor delivery and notification
+  /// visibility (kCounting counter update).
+  Time commit = 0;
+  /// True when a full notification queue is absorbed (spill + bounded
+  /// retry) even under the global fatal overflow policy.
+  bool graceful_overflow = false;
+};
+
+class TransportBackend {
+ public:
+  virtual ~TransportBackend() = default;
+
+  virtual BackendKind kind() const = 0;
+  virtual const char* name() const = 0;
+  virtual NotifyModel notify_model() const = 0;
+
+  /// Injection lane used for a payload of `bytes`.
+  virtual Transport lane(std::size_t bytes) const = 0;
+
+  /// Every lane this backend can select (metrics registration, ablation).
+  virtual std::span<const Transport> lanes() const = 0;
+
+  /// LogGP row of one of this backend's lanes.
+  virtual const TransportTiming& timing(Transport lane) const = 0;
+
+  virtual NotifyCosts notify_costs() const = 0;
+};
+
+/// Instantiates one backend from its parameter block in `params`.
+std::unique_ptr<TransportBackend> make_backend(BackendKind kind,
+                                               const FabricParams& params);
+
+}  // namespace narma::net

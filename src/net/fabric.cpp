@@ -1,5 +1,7 @@
 #include "net/fabric.hpp"
 
+#include <string>
+
 #include "net/nic.hpp"
 #include "obs/msgtrace.hpp"
 
@@ -7,23 +9,86 @@ namespace narma::net {
 
 Fabric::Fabric(sim::Engine& engine, FabricParams params,
                obs::Registry* metrics)
-    : engine_(engine), params_(params), metrics_(metrics) {
-  NARMA_CHECK(params_.ranks_per_node >= 1);
+    : engine_(engine), params_(std::move(params)), metrics_(metrics) {
+  NARMA_CHECK(params_.ranks_per_node >= 1)
+      << "FabricParams::ranks_per_node must be >= 1, got "
+      << params_.ranks_per_node
+      << " (0 would divide-by-zero the node map)";
   const auto n = static_cast<std::size_t>(engine_.nranks());
   channels_.resize(2 * n * n);
+
+  // Node map, then the backend route of every ordered rank pair: intra-node
+  // pairs always use the shared-memory backend; inter-node pairs use the
+  // heterogeneous `route` policy when set, `inter_node` otherwise.
+  node_of_.resize(n);
+  for (std::size_t r = 0; r < n; ++r)
+    node_of_[r] = static_cast<int>(r) / params_.ranks_per_node;
+  route_.resize(n * n);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < n; ++d) {
+      BackendKind k = BackendKind::kShm;
+      if (node_of_[s] != node_of_[d]) {
+        k = params_.route ? params_.route(node_of_[s], node_of_[d])
+                          : params_.inter_node;
+        NARMA_CHECK(k != BackendKind::kShm)
+            << "routing policy assigned the shm backend to inter-node pair "
+            << s << " -> " << d << " (nodes " << node_of_[s] << ", "
+            << node_of_[d] << ")";
+      }
+      route_[s * n + d] = k;
+    }
+  }
+
+  // Instantiate exactly the backends some pair routes to, and resolve each
+  // lane's LogGP row through its owning backend. Lanes of uninstantiated
+  // backends fall back to the parameter blocks so Fabric::timing stays
+  // total (ablation tools iterate over all lanes).
+  bool used[kNumBackends] = {};
+  for (const BackendKind k : route_) used[static_cast<std::size_t>(k)] = true;
+  for (int t = 0; t < kNumTransports; ++t)
+    lane_timing_[static_cast<std::size_t>(t)] =
+        &params_.timing(static_cast<Transport>(t));
+  for (int b = 0; b < kNumBackends; ++b) {
+    if (!used[b]) continue;
+    const auto kind = static_cast<BackendKind>(b);
+    backends_[static_cast<std::size_t>(b)] = make_backend(kind, params_);
+    const TransportBackend& be = *backends_[static_cast<std::size_t>(b)];
+    for (const Transport lane : be.lanes())
+      lane_timing_[static_cast<std::size_t>(lane)] = &be.timing(lane);
+    const NotifyCosts nc = be.notify_costs();
+    consume_overhead_[static_cast<std::size_t>(b)] = nc.consume;
+    graceful_overflow_[static_cast<std::size_t>(b)] = nc.graceful_overflow;
+  }
+
   if (metrics_) {
-    // Indexed by Transport (kShm = 0, kFma = 1, kBte = 2).
-    static const char* kOpNames[3] = {"net.shm_ops", "net.fma_ops",
-                                      "net.bte_ops"};
-    static const char* kByteNames[3] = {"net.shm_bytes", "net.fma_bytes",
-                                        "net.bte_bytes"};
+    // Lane counters indexed by Transport, notification counters by
+    // BackendKind; only what the route uses is registered.
+    static const char* kOpNames[kNumTransports] = {
+        "net.shm_ops",  "net.fma_ops", "net.bte_ops",
+        "net.idc_ops",  "net.dma_ops", "net.rdma_ops"};
+    static const char* kByteNames[kNumTransports] = {
+        "net.shm_bytes", "net.fma_bytes", "net.bte_bytes",
+        "net.idc_bytes", "net.dma_bytes", "net.rdma_bytes"};
+    static const char* kNotifNames[kNumBackends] = {
+        "net.shm_notifs", "net.aries_notifs", "net.ramc_notifs",
+        "net.verbs_notifs"};
+    bool lane_used[kNumTransports] = {};
+    for (int b = 0; b < kNumBackends; ++b) {
+      if (!used[b]) continue;
+      for (const Transport lane : backends_[static_cast<std::size_t>(b)]
+                                      ->lanes())
+        lane_used[static_cast<std::size_t>(lane)] = true;
+    }
     rank_metrics_.resize(n);
     for (int r = 0; r < engine_.nranks(); ++r) {
       RankNetMetrics& m = rank_metrics_[static_cast<std::size_t>(r)];
-      for (int t = 0; t < 3; ++t) {
+      for (int t = 0; t < kNumTransports; ++t) {
+        if (!lane_used[t]) continue;
         m.ops[t] = metrics_->counter(kOpNames[t], r);
         m.bytes[t] = metrics_->counter(kByteNames[t], r);
       }
+      for (int b = 0; b < kNumBackends; ++b)
+        if (used[b]) m.notifs[b] = metrics_->counter(kNotifNames[b], r);
       m.queue_delay = metrics_->histogram("net.chan_queue_ns", r);
     }
   }
@@ -55,7 +120,7 @@ Nic& Fabric::nic(int rank) {
 Time Fabric::reserve_transfer(int src, int dst, Time t_issue,
                               std::size_t bytes, Transport transport,
                               ChannelClass cls, std::uint64_t msg) {
-  const TransportTiming& tt = params_.timing(transport);
+  const TransportTiming& tt = timing(transport);
   Channel& c = chan(src, dst, cls);
   // Fault-free runs take exactly one iteration with no injector draws: the
   // arithmetic below is then identical to the pre-fault-model fabric (the

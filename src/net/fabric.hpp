@@ -1,13 +1,20 @@
 // The simulated interconnect.
 //
-// A Fabric owns one Nic per rank and the per-(source, destination) channel
-// state used to serialize injections. Transfers are charged LogGP costs from
-// FabricParams: a transfer of b bytes issued at local time t on a channel
-// whose previous injection ends at time f starts at max(t, f), occupies the
-// channel for g + G*b, and is delivered L later. Because each channel is
-// only ever injected into in nondecreasing virtual time, deliveries on a
-// channel are FIFO — the in-order guarantee of deterministically routed
-// Aries that the paper's notification ordering relies on.
+// A Fabric owns one Nic per rank, the per-(source, destination) channel
+// state used to serialize injections, and the transport backends
+// (net/backend.hpp) that rank pairs are routed to: intra-node pairs to the
+// shared-memory backend, inter-node pairs to the backend named by
+// FabricParams::inter_node or the per-node-pair FabricParams::route policy.
+// Only backends that some pair actually routes to are instantiated, so the
+// default configuration carries exactly the shm + Aries pair it always has.
+//
+// Transfers are charged LogGP costs from the owning backend's lane table: a
+// transfer of b bytes issued at local time t on a channel whose previous
+// injection ends at time f starts at max(t, f), occupies the channel for
+// g + G*b, and is delivered L later. Because each channel is only ever
+// injected into in nondecreasing virtual time, deliveries on a channel are
+// FIFO — the in-order guarantee of deterministically routed fabrics that
+// the paper's notification ordering relies on.
 //
 // Channels come in two classes: kData carries rank-issued traffic (puts,
 // control messages, eager payloads) and kResp carries NIC-generated
@@ -18,10 +25,12 @@
 // FIFO invariant.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "net/backend.hpp"
 #include "net/faults.hpp"
 #include "net/params.hpp"
 #include "net/types.hpp"
@@ -56,16 +65,54 @@ class Fabric {
 
   Nic& nic(int rank);
 
-  bool same_node(int a, int b) const {
-    return a / params_.ranks_per_node == b / params_.ranks_per_node;
+  /// Node of one rank (precomputed at construction, where ranks_per_node
+  /// is validated — no division on the hot path, no divide-by-zero).
+  int node_of(int rank) const {
+    return node_of_[static_cast<std::size_t>(rank)];
   }
 
-  /// Transport selection: intra-node pairs use shared memory; inter-node
-  /// transfers use FMA below the BTE threshold and BTE at or above it.
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+  /// The transport backend serving one ordered rank pair.
+  const TransportBackend& backend_for(int src, int dst) const {
+    return *backends_[static_cast<std::size_t>(
+        route_[static_cast<std::size_t>(src) *
+                   static_cast<std::size_t>(nranks()) +
+               static_cast<std::size_t>(dst)])];
+  }
+
+  /// Lane selection, delegated to the pair's backend routing policy
+  /// (intra-node pairs → shm; inter-node pairs → the routed backend's
+  /// size-based lane choice).
   Transport transport_for(int src, int dst, std::size_t bytes) const {
-    if (same_node(src, dst)) return Transport::kShm;
-    return bytes >= params_.fma_bte_threshold ? Transport::kBte
-                                              : Transport::kFma;
+    return backend_for(src, dst).lane(bytes);
+  }
+
+  /// LogGP row of one lane, resolved through the owning backend (falls back
+  /// to the parameter block when that backend is not instantiated).
+  const TransportTiming& timing(Transport lane) const {
+    return *lane_timing_[static_cast<std::size_t>(lane)];
+  }
+
+  /// Consumer-side cost of draining one notification delivered by `k`
+  /// (RAMC ring pop, verbs RQE repost; zero for shm/aries).
+  Time consume_overhead(BackendKind k) const {
+    return consume_overhead_[static_cast<std::size_t>(k)];
+  }
+
+  /// True when `k` absorbs a full notification queue (spill + retry)
+  /// instead of treating it as a fatal hardware error.
+  bool graceful_overflow(BackendKind k) const {
+    return graceful_overflow_[static_cast<std::size_t>(k)];
+  }
+
+  /// Per-rank, backend-tagged notification-delivery counter hook
+  /// (net.<backend>_notifs); called by the NICs at commit time.
+  void note_notify(int rank, BackendKind k) {
+    if (!rank_metrics_.empty())
+      rank_metrics_[static_cast<std::size_t>(rank)]
+          .notifs[static_cast<std::size_t>(k)]
+          .inc();
   }
 
   /// Charges the channel-serialization and LogGP costs of a transfer of
@@ -126,10 +173,14 @@ class Fabric {
     Time last_deliver = 0;
   };
 
-  /// Per-source-rank transfer metrics, indexed by Transport.
+  /// Per-source-rank transfer metrics. Lane arrays are indexed by
+  /// Transport, notification counters by BackendKind; only the lanes and
+  /// backends some route actually uses are registered — the rest stay
+  /// disengaged no-op handles.
   struct RankNetMetrics {
-    obs::Counter ops[3];    // net.{fma,bte,shm}_ops
-    obs::Counter bytes[3];  // net.{fma,bte,shm}_bytes
+    obs::Counter ops[kNumTransports];    // net.<lane>_ops
+    obs::Counter bytes[kNumTransports];  // net.<lane>_bytes
+    obs::Counter notifs[kNumBackends];   // net.<backend>_notifs
     obs::Histogram queue_delay;  // net.chan_queue_ns (injection serialization)
   };
 
@@ -144,6 +195,12 @@ class Fabric {
   sim::Engine& engine_;
   FabricParams params_;
   std::vector<Channel> channels_;  // [class][src][dst]
+  std::vector<int> node_of_;       // rank -> node, validated at construction
+  std::vector<BackendKind> route_;  // [src][dst] -> backend kind
+  std::array<std::unique_ptr<TransportBackend>, kNumBackends> backends_;
+  std::array<const TransportTiming*, kNumTransports> lane_timing_{};
+  std::array<Time, kNumBackends> consume_overhead_{};
+  std::array<bool, kNumBackends> graceful_overflow_{};
   std::vector<std::unique_ptr<Nic>> nics_;
   std::unique_ptr<FaultInjector> faults_;
   std::unique_ptr<FlowControl> flow_;  // after nics_: sized to their queues

@@ -57,25 +57,9 @@ class Nic {
 
   // --- RDMA data movement -------------------------------------------------
 
-  /// Notification attributes for one-sided operations. When `notify` is
-  /// set, completion posts a Cqe carrying `imm` to the *target's*
-  /// destination CQ (for puts/atomics: when the data is committed at the
-  /// target; for gets: when the data has been read — the reliable-network
-  /// case of paper Sec. VIII).
-  struct NotifyAttr {
-    bool notify = false;
-    std::uint32_t imm = 0;
-    std::uint64_t window = 0;
-    /// Optional *target-side* delivery tracking: completed is incremented
-    /// (and the target's progress trigger notified) when the data commits
-    /// at the target. Models receiver-NIC completions (e.g. RDMA write
-    /// with immediate); the two-sided rendezvous protocol uses it.
-    PendingOps* remote_delivered = nullptr;
-    /// obs::MsgId of the originating operation (0 = untraced). Simulator
-    /// metadata only: rides along so the channel stages and delivery can
-    /// record lifecycle hops; never affects timing.
-    std::uint64_t msg = 0;
-  };
+  // Notification attributes ride in the backend-neutral net::NotifyAttr
+  // (types.hpp); how a notification surfaces at the target is the routed
+  // backend's choice (net/backend.hpp).
 
   /// Nonblocking RDMA write of the caller's buffer into (target, key,
   /// offset). The source buffer must remain valid and unmodified until the

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "net/params.hpp"
 
 namespace narma::net {
 
@@ -37,7 +38,11 @@ enum class CqeKind : std::uint8_t {
   kAtomicNotify,  // a notified atomic committed to local memory
 };
 
-/// Destination-completion-queue entry (the uGNI-like notification path).
+/// Destination-completion-queue entry. Every non-shm backend delivers its
+/// notifications through this queue — a uGNI destination-CQ CQE, a RAMC
+/// counting completion, or a verbs write-with-immediate CQE — and tags the
+/// entry with the backend that produced it so consumers can charge
+/// backend-specific drain costs without knowing the route.
 struct Cqe {
   CqeKind kind;
   std::uint32_t imm;    // encoded <source, tag>
@@ -45,6 +50,7 @@ struct Cqe {
   std::uint64_t window; // protocol-layer cookie (window id)
   Time time;            // virtual delivery time
   std::uint64_t msg = 0;  // obs::MsgId of the originating op (0 = untraced)
+  BackendKind backend = BackendKind::kAries;  // producing transport backend
 };
 
 /// Shared-memory notification ring entry (the XPMEM-like path, paper
@@ -85,6 +91,9 @@ struct HwNotification {
   /// about the cache simulator.
   const void* queue_slot = nullptr;
   std::uint64_t msg = 0;  // obs::MsgId of the originating op (0 = untraced)
+  /// Transport backend that delivered the notification (kShm for ring
+  /// entries); consumers use it to charge per-backend drain costs.
+  BackendKind backend = BackendKind::kAries;
 };
 
 /// Small typed control message (mailbox entry). The protocol layers define
@@ -106,6 +115,27 @@ struct PendingOps {
   std::uint64_t issued = 0;
   std::uint64_t completed = 0;
   bool all_done() const { return issued == completed; }
+};
+
+/// Notification attributes for one-sided operations, shared by every
+/// transport backend. When `notify` is set, completion surfaces a
+/// notification at the *target* through the route's backend mechanism (CQE,
+/// counting completion, write-with-immediate — see net/backend.hpp); for
+/// puts/atomics when the data is committed at the target, for gets when the
+/// data has been read (the reliable-network case of paper Sec. VIII).
+struct NotifyAttr {
+  bool notify = false;
+  std::uint32_t imm = 0;       // encoded <source, tag>
+  std::uint64_t window = 0;    // protocol-layer cookie (window id)
+  /// Optional *target-side* delivery tracking: completed is incremented
+  /// (and the target's progress trigger notified) when the data commits
+  /// at the target. Models receiver-NIC completions; the two-sided
+  /// rendezvous protocol uses it.
+  PendingOps* remote_delivered = nullptr;
+  /// obs::MsgId of the originating operation (0 = untraced). Simulator
+  /// metadata only: rides along so the channel stages and delivery can
+  /// record lifecycle hops; never affects timing.
+  std::uint64_t msg = 0;
 };
 
 /// Wire traffic statistics; tests use these to verify the paper's Figure 2

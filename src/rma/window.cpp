@@ -141,7 +141,7 @@ void Window::put(const void* src, std::size_t bytes, int target,
   router_.nic().ctx().advance(mgr_.params().o_put);
   trace_issue(nic(), mid);
   mgr_.c_puts_.inc();
-  net::Nic::NotifyAttr attr;
+  net::NotifyAttr attr;
   attr.msg = mid;
   nic().put(target, remote_key(target), byte_offset(target_disp), src, bytes,
             attr, &pending(target));
@@ -163,7 +163,7 @@ void Window::put_strided(const void* src, std::size_t block_bytes,
     segs.push_back({byte_offset(target_disp + b * target_stride),
                     base + b * src_stride_bytes, block_bytes});
   }
-  net::Nic::NotifyAttr attr;
+  net::NotifyAttr attr;
   attr.msg = mid;
   nic().put_iov(target, remote_key(target), segs, attr, &pending(target));
 }
@@ -174,7 +174,7 @@ void Window::get(void* dst, std::size_t bytes, int target,
   router_.nic().ctx().advance(mgr_.params().o_put);
   trace_issue(nic(), mid);
   mgr_.c_gets_.inc();
-  net::Nic::NotifyAttr attr;
+  net::NotifyAttr attr;
   attr.msg = mid;
   nic().get(target, remote_key(target), byte_offset(target_disp), dst, bytes,
             attr, &pending(target));
@@ -187,7 +187,7 @@ void Window::fetch_add_i64(int target, std::uint64_t target_disp,
   router_.nic().ctx().advance(mgr_.params().o_atomic);
   trace_issue(nic(), mid);
   mgr_.c_atomics_.inc();
-  net::Nic::NotifyAttr attr;
+  net::NotifyAttr attr;
   attr.msg = mid;
   nic().atomic(target, remote_key(target), byte_offset(target_disp),
                net::Nic::AtomicOp::kAddI64, v, 0, result, attr,
@@ -201,7 +201,7 @@ void Window::fetch_add_f64(int target, std::uint64_t target_disp, double v,
   router_.nic().ctx().advance(mgr_.params().o_atomic);
   trace_issue(nic(), mid);
   mgr_.c_atomics_.inc();
-  net::Nic::NotifyAttr attr;
+  net::NotifyAttr attr;
   attr.msg = mid;
   // The NIC's atomic unit is 8 bytes; reinterpret through the result slot.
   nic().atomic(target, remote_key(target), byte_offset(target_disp),
@@ -218,7 +218,7 @@ void Window::compare_swap_i64(int target, std::uint64_t target_disp,
   router_.nic().ctx().advance(mgr_.params().o_atomic);
   trace_issue(nic(), mid);
   mgr_.c_atomics_.inc();
-  net::Nic::NotifyAttr attr;
+  net::NotifyAttr attr;
   attr.msg = mid;
   nic().atomic(target, remote_key(target), byte_offset(target_disp),
                net::Nic::AtomicOp::kCasI64, desired, compare, result, attr,

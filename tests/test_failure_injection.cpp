@@ -30,7 +30,7 @@ TEST(FailureInjection, DestCqOverflowIsFatal) {
           if (self.id() == 0) {
             // 32 notifications into a CQ of 8 that nobody consumes.
             for (int i = 0; i < 32; ++i)
-              self.na().put_notify(*win, nullptr, 0, 1, 0, 1);
+              self.na().put_notify(*win, na::as_bytes(nullptr, 0), 1, 0, 1);
             win->flush(1);
           } else {
             self.ctx().yield_until(ms(10), "sleep");
@@ -82,7 +82,7 @@ TEST(FailureInjection, DeadlockDumpNamesBlockSite) {
         world.run([](Rank& self) {
           auto win = self.win_allocate(8, 1);
           if (self.id() == 1) {
-            auto req = self.na().notify_init(*win, 0, 1, 1);
+            auto req = self.na().notify_init(*win, na::MatchSpec{0, 1}, 1);
             self.na().start(req);
             self.na().wait(req);  // never satisfied
           }
@@ -96,7 +96,7 @@ TEST(FailureInjection, TestWithoutStartAborts) {
   World world(1);
   world.run([](Rank& self) {
     auto win = self.win_allocate(8, 1);
-    auto req = self.na().notify_init(*win, na::kAnySource, na::kAnyTag, 1);
+    auto req = self.na().notify_init(*win, na::MatchSpec{na::kAnySource, na::kAnyTag}, 1);
     EXPECT_DEATH(self.na().test(req), "not.*started");
   });
 }
@@ -105,7 +105,7 @@ TEST(FailureInjection, ZeroExpectedCountAborts) {
   World world(1);
   world.run([](Rank& self) {
     auto win = self.win_allocate(8, 1);
-    EXPECT_DEATH(self.na().notify_init(*win, na::kAnySource, na::kAnyTag, 0),
+    EXPECT_DEATH(self.na().notify_init(*win, na::MatchSpec{na::kAnySource, na::kAnyTag}, 0),
                  "expected_count");
   });
 }
@@ -115,7 +115,7 @@ TEST(FailureInjection, BadNotificationSourceAborts) {
   world.run([](Rank& self) {
     auto win = self.win_allocate(8, 1);
     if (self.id() == 0) {
-      EXPECT_DEATH(self.na().notify_init(*win, 7, 1, 1),
+      EXPECT_DEATH(self.na().notify_init(*win, na::MatchSpec{7, 1}, 1),
                    "bad notification source");
     }
     self.barrier();
@@ -184,7 +184,7 @@ TEST(FailureInjection, ShmRingOverflowIsFatal) {
           auto win = self.win_allocate(8, 1);
           if (self.id() == 0) {
             for (int i = 0; i < 32; ++i)
-              self.na().put_notify(*win, nullptr, 0, 1, 0, 1);
+              self.na().put_notify(*win, na::as_bytes(nullptr, 0), 1, 0, 1);
             win->flush(1);
           } else {
             self.ctx().yield_until(ms(10), "sleep");
@@ -220,11 +220,11 @@ TEST(FailureInjection, DestCqOverflowBackpressureCompletes) {
       // Same burst as DestCqOverflowIsFatal: 32 notifications into a CQ of
       // 8. The sender now stalls on credits until the consumer drains.
       for (int i = 0; i < 32; ++i)
-        self.na().put_notify(*win, nullptr, 0, 1, 0, 1);
+        self.na().put_notify(*win, na::as_bytes(nullptr, 0), 1, 0, 1);
       win->flush(1);
     } else {
       self.ctx().yield_until(ms(10), "sleep");
-      auto req = self.na().notify_init(*win, 0, 1, 32);
+      auto req = self.na().notify_init(*win, na::MatchSpec{0, 1}, 32);
       self.na().start(req);
       self.na().wait(req);
     }
@@ -260,11 +260,11 @@ TEST(FailureInjection, ShmRingOverflowBackpressureCompletes) {
     auto win = self.win_allocate(8, 1);
     if (self.id() == 0) {
       for (int i = 0; i < 32; ++i)
-        self.na().put_notify(*win, nullptr, 0, 1, 0, 1);
+        self.na().put_notify(*win, na::as_bytes(nullptr, 0), 1, 0, 1);
       win->flush(1);
     } else {
       self.ctx().yield_until(ms(10), "sleep");
-      auto req = self.na().notify_init(*win, 0, 1, 32);
+      auto req = self.na().notify_init(*win, na::MatchSpec{0, 1}, 32);
       self.na().start(req);
       self.na().wait(req);
     }
@@ -286,10 +286,10 @@ TEST(FailureInjection, ForcedPressureRetriesAndCompletes) {
       auto win = self.rma().create(&result, sizeof(double), sizeof(double));
       if (self.id() == 0) {
         double v = 6.25;
-        self.na().put_notify(*win, &v, sizeof v, 1, 0, 3);
+        self.na().put_notify(*win, na::as_bytes(&v, sizeof v), 1, 0, 3);
         win->flush(1);
       } else {
-        auto req = self.na().notify_init(*win, 0, 3, 1);
+        auto req = self.na().notify_init(*win, na::MatchSpec{0, 3}, 1);
         self.na().start(req);
         self.na().wait(req);
         EXPECT_EQ(result, 6.25);
@@ -329,11 +329,11 @@ FaultRunOutcome run_faulty_ring(std::uint64_t seed) {
     auto win = self.win_allocate(4096, 1);
     const int dst = (self.id() + 1) % self.size();
     const int src = (self.id() + self.size() - 1) % self.size();
-    auto req = self.na().notify_init(*win, src, src, 16);
+    auto req = self.na().notify_init(*win, na::MatchSpec{src, src}, 16);
     self.na().start(req);
     std::vector<std::byte> buf(256, std::byte{0x5a});
     for (int i = 0; i < 16; ++i)
-      self.na().put_notify(*win, buf.data(), buf.size(), dst, 0, self.id());
+      self.na().put_notify(*win, na::as_bytes(buf.data(), buf.size()), dst, 0, self.id());
     win->flush(dst);
     self.na().wait(req);
     self.barrier();
@@ -383,10 +383,10 @@ TEST(FailureInjection, FaultFreeSchedulesAreBitIdentical) {
       auto win = self.win_allocate(8192, 1);
       if (self.id() == 0) {
         for (int i = 0; i < nops; ++i)
-          self.na().put_notify(*win, buf.data(), bytes, 1, 0, 1);
+          self.na().put_notify(*win, na::as_bytes(buf.data(), bytes), 1, 0, 1);
         win->flush(1);
       } else {
-        auto req = self.na().notify_init(*win, 0, 1, nops);
+        auto req = self.na().notify_init(*win, na::MatchSpec{0, 1}, nops);
         self.na().start(req);
         self.na().wait(req);
       }

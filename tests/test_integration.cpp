@@ -47,11 +47,10 @@ TEST_P(Chaos, RandomNotifiedTrafficConserved) {
       if (t == self.id()) continue;
       for (int s = 0; s < sends[me][static_cast<std::size_t>(t)]; ++s) {
         const double payload = self.id() * 100.0 + s;
-        self.na().put_notify(
-            *win, &payload, sizeof(double), t,
-            static_cast<std::uint64_t>(self.id()) * kMaxPerPair +
-                static_cast<std::uint64_t>(s),
-            s);
+        self.na().put_notify(*win, na::as_bytes(&payload, sizeof(double)),
+                             t,
+                             static_cast<std::uint64_t>(self.id()) * kMaxPerPair +
+                static_cast<std::uint64_t>(s), s);
         win->flush(t);  // keep `payload` (stack) safe per iteration
       }
     }
@@ -61,8 +60,8 @@ TEST_P(Chaos, RandomNotifiedTrafficConserved) {
       if (src == self.id()) continue;
       const int expect = sends[static_cast<std::size_t>(src)][me];
       if (expect == 0) continue;
-      auto req = self.na().notify_init(*win, src, na::kAnyTag,
-                                       static_cast<std::uint32_t>(expect));
+      auto req = self.na().notify_init(*win, na::MatchSpec{src, na::kAnyTag},
+                                        static_cast<std::uint32_t>(expect));
       self.na().start(req);
       self.na().wait(req);
     }
@@ -109,7 +108,7 @@ TEST(Integration, MixedProtocolsInFlightTogether) {
     const double v_na = self.id() + 0.25;
     const double v_rma = self.id() + 0.5;
     const double v_mp = self.id() + 0.75;
-    self.na().put_notify(*na_win, &v_na, sizeof(double), right,
+    self.na().put_notify(*na_win, na::as_bytes(&v_na, sizeof(double)), right,
                          static_cast<std::uint64_t>(self.id()), 1);
     rma_win->put(&v_rma, sizeof(double), right,
                  static_cast<std::uint64_t>(self.id()));
@@ -120,7 +119,7 @@ TEST(Integration, MixedProtocolsInFlightTogether) {
     // Complete in mixed order.
     double got_mp = 0;
     auto rreq = self.mp().irecv(&got_mp, sizeof(double), left, 2);
-    auto nreq = self.na().notify_init(*na_win, left, 1, 1);
+    auto nreq = self.na().notify_init(*na_win, na::MatchSpec{left, 1}, 1);
     self.na().start(nreq);
     self.na().wait(nreq);
     rma_win->flush(right);
@@ -149,8 +148,7 @@ TEST(Integration, ManyWindowsManyRequests) {
 
     if (self.id() == 0) {
       for (int w = 0; w < kWins; ++w) {
-        self.na().put_notify(*wins[static_cast<std::size_t>(w)], nullptr, 0,
-                             1, 0, w);
+        self.na().put_notify(*wins[static_cast<std::size_t>(w)], na::as_bytes(nullptr, 0), 1, 0, w);
         wins[static_cast<std::size_t>(w)]->flush(1);
       }
     } else if (self.id() == 1) {
@@ -158,7 +156,7 @@ TEST(Integration, ManyWindowsManyRequests) {
       // everything through the UQ.
       for (int w = kWins - 1; w >= 0; --w) {
         auto req = self.na().notify_init(
-            *wins[static_cast<std::size_t>(w)], 0, w, 1);
+            *wins[static_cast<std::size_t>(w)], na::MatchSpec{0, w}, 1);
         self.na().start(req);
         na::NaStatus st;
         self.na().wait(req, &st);
@@ -180,11 +178,11 @@ TEST(Integration, RepeatedWorldsInOneProcess) {
       auto win = self.win_allocate(8, 1);
       if (self.id() == 0)
         for (int t = 1; t < self.size(); ++t) {
-          self.na().put_notify(*win, nullptr, 0, t, 0, 1);
+          self.na().put_notify(*win, na::as_bytes(nullptr, 0), t, 0, 1);
           win->flush(t);
         }
       else {
-        auto req = self.na().notify_init(*win, 0, 1, 1);
+        auto req = self.na().notify_init(*win, na::MatchSpec{0, 1}, 1);
         self.na().start(req);
         self.na().wait(req);
       }
@@ -201,11 +199,11 @@ TEST(Integration, SixtyFourRankFanIn) {
     auto win = self.win_allocate(64 * sizeof(double), sizeof(double));
     if (self.id() != 0) {
       const double v = self.id();
-      self.na().put_notify(*win, &v, sizeof(double), 0,
+      self.na().put_notify(*win, na::as_bytes(&v, sizeof(double)), 0,
                            static_cast<std::uint64_t>(self.id()), 5);
       win->flush(0);
     } else {
-      auto req = self.na().notify_init(*win, na::kAnySource, 5, 63);
+      auto req = self.na().notify_init(*win, na::MatchSpec{na::kAnySource, 5}, 63);
       self.na().start(req);
       self.na().wait(req);
       auto mem = win->local<double>();

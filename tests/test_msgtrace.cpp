@@ -32,10 +32,10 @@ void run_pingpong(World& world, int rounds) {
     double v = 1.0 + self.id();
     for (int r = 0; r < rounds; ++r) {
       if ((r % 2) == self.id()) {
-        self.na().put_notify(*win, &v, 8, peer, 0, r);
+        self.na().put_notify(*win, na::as_bytes(&v, 8), peer, 0, r);
         win->flush(peer);
       } else {
-        auto req = self.na().notify_init(*win, peer, r, 1);
+        auto req = self.na().notify_init(*win, na::MatchSpec{peer, r}, 1);
         self.na().start(req);
         self.na().wait(req);
         self.na().free(req);
@@ -58,7 +58,7 @@ TEST(MsgTrace, PingPongDecompositionMatchesLogGP) {
   world.enable_msgtrace();
   run_pingpong(world, 8);
 
-  const net::TransportTiming& fma = world.params().fabric.fma;
+  const net::TransportTiming& fma = world.params().fabric.aries.fma;
   const Time t_na = world.params().na.t_na;
   int put_notifies = 0;
   for (const auto& m : world.msgtrace()->summarize()) {
@@ -99,9 +99,9 @@ std::vector<Time> run_mixed_workload(bool msgtrace,
     std::vector<double> in(2048, 0.0);
     for (int it = 0; it < 3; ++it) {
       // Notified ring shift.
-      self.na().put_notify(*win, buf.data(), 2048, right, 0, it);
+      self.na().put_notify(*win, na::as_bytes(buf.data(), 2048), right, 0, it);
       win->flush(right);
-      auto req = self.na().notify_init(*win, left, it, 1);
+      auto req = self.na().notify_init(*win, na::MatchSpec{left, it}, 1);
       self.na().start(req);
       self.na().wait(req);
       self.na().free(req);
@@ -151,11 +151,11 @@ TEST(MsgTrace, LaggingConsumerNeverObservesFutureDeliveries) {
     if (self.id() == 0) {
       double v = 2.0;
       for (int i = 0; i < kMsgs; ++i)
-        self.na().put_notify(*win, &v, 8, 1, 0, 0);
+        self.na().put_notify(*win, na::as_bytes(&v, 8), 1, 0, 0);
       win->flush(1);
     } else {
       for (int i = 0; i < kMsgs; ++i) {
-        auto req = self.na().notify_init(*win, 0, 0, 1);
+        auto req = self.na().notify_init(*win, na::MatchSpec{0, 0}, 1);
         self.na().start(req);
         self.na().wait(req);
         self.na().free(req);

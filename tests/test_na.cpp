@@ -25,10 +25,10 @@ TEST(Na, PutNotifyDeliversDataAndNotification) {
     auto win = self.win_allocate(8 * sizeof(double), sizeof(double));
     if (self.id() == 0) {
       std::vector<double> v{1.5, 2.5};
-      self.na().put_notify(*win, v.data(), 16, 1, 4, /*tag=*/7);
+      self.na().put_notify(*win, na::as_bytes(v.data(), 16), 1, 4, /*tag=*/7);
       win->flush(1);
     } else {
-      auto req = self.na().notify_init(*win, 0, 7, 1);
+      auto req = self.na().notify_init(*win, na::MatchSpec{0, 7}, 1);
       self.na().start(req);
       na::NaStatus st;
       self.na().wait(req, &st);
@@ -48,10 +48,10 @@ TEST(Na, ZeroBytePureNotification) {
   run2([](Rank& self) {
     auto win = self.win_allocate(8, 1);
     if (self.id() == 0) {
-      self.na().put_notify(*win, nullptr, 0, 1, 0, 3);
+      self.na().put_notify(*win, na::as_bytes(nullptr, 0), 1, 0, 3);
       win->flush(1);
     } else {
-      auto req = self.na().notify_init(*win, 0, 3, 1);
+      auto req = self.na().notify_init(*win, na::MatchSpec{0, 3}, 1);
       self.na().start(req);
       na::NaStatus st;
       self.na().wait(req, &st);
@@ -66,16 +66,16 @@ TEST(Na, TagMismatchGoesToUnexpectedQueue) {
     auto win = self.win_allocate(sizeof(double), sizeof(double));
     if (self.id() == 0) {
       double v = 1.0;
-      self.na().put_notify(*win, &v, 8, 1, 0, /*tag=*/5);
-      self.na().put_notify(*win, &v, 8, 1, 0, /*tag=*/6);
+      self.na().put_notify(*win, na::as_bytes(&v, 8), 1, 0, /*tag=*/5);
+      self.na().put_notify(*win, na::as_bytes(&v, 8), 1, 0, /*tag=*/6);
       win->flush(1);
     } else {
       // Wait for tag 6 first: tag 5's notification must be parked in the UQ.
-      auto req6 = self.na().notify_init(*win, 0, 6, 1);
+      auto req6 = self.na().notify_init(*win, na::MatchSpec{0, 6}, 1);
       self.na().start(req6);
       self.na().wait(req6);
       EXPECT_EQ(self.na().uq_size(), 1u);
-      auto req5 = self.na().notify_init(*win, 0, 5, 1);
+      auto req5 = self.na().notify_init(*win, na::MatchSpec{0, 5}, 1);
       self.na().start(req5);
       na::NaStatus st;
       self.na().wait(req5, &st);  // matched from the UQ
@@ -92,12 +92,12 @@ TEST(Na, AnySourceAnyTagWildcards) {
     auto win = self.win_allocate(2 * sizeof(double), sizeof(double));
     if (self.id() != 2) {
       double v = self.id() + 1.0;
-      self.na().put_notify(*win, &v, 8, 2,
+      self.na().put_notify(*win, na::as_bytes(&v, 8), 2,
                            static_cast<std::uint64_t>(self.id()),
                            10 + self.id());
       win->flush(2);
     } else {
-      auto req = self.na().notify_init(*win, na::kAnySource, na::kAnyTag, 1);
+      auto req = self.na().notify_init(*win, na::MatchSpec{na::kAnySource, na::kAnyTag}, 1);
       for (int i = 0; i < 2; ++i) {
         self.na().start(req);
         na::NaStatus st;
@@ -117,13 +117,12 @@ TEST(Na, CountingRequestCompletesAfterN) {
     auto win = self.win_allocate(4 * sizeof(double), sizeof(double));
     if (self.id() != 0) {
       double v = self.id() * 1.0;
-      self.na().put_notify(*win, &v, 8, 0,
-                           static_cast<std::uint64_t>(self.id()), 1);
+      self.na().put_notify(*win, na::as_bytes(&v, 8), 0, static_cast<std::uint64_t>(self.id()), 1);
       win->flush(0);
     } else {
       // One counting request for all three children (the paper's tree
       // pattern).
-      auto req = self.na().notify_init(*win, na::kAnySource, 1, 3);
+      auto req = self.na().notify_init(*win, na::MatchSpec{na::kAnySource, 1}, 3);
       self.na().start(req);
       self.na().wait(req);
       EXPECT_EQ(req.matched(), 3u);
@@ -139,12 +138,12 @@ TEST(Na, StatusReportsLastMatchingAccess) {
     auto win = self.win_allocate(3 * sizeof(double), sizeof(double));
     if (self.id() == 0) {
       double v = 1;
-      self.na().put_notify(*win, &v, 8, 1, 0, 4);
-      self.na().put_notify(*win, &v, 8, 1, 1, 4);
-      self.na().put_notify(*win, &v, 8, 1, 2, 4);
+      self.na().put_notify(*win, na::as_bytes(&v, 8), 1, 0, 4);
+      self.na().put_notify(*win, na::as_bytes(&v, 8), 1, 1, 4);
+      self.na().put_notify(*win, na::as_bytes(&v, 8), 1, 2, 4);
       win->flush(1);
     } else {
-      auto req = self.na().notify_init(*win, 0, 4, 3);
+      auto req = self.na().notify_init(*win, na::MatchSpec{0, 4}, 3);
       self.na().start(req);
       na::NaStatus st;
       self.na().wait(req, &st);
@@ -164,11 +163,11 @@ TEST(Na, PersistentRequestReuse) {
     if (self.id() == 0) {
       for (int i = 0; i < kReps; ++i) {
         double v = i;
-        self.na().put_notify(*win, &v, 8, 1, 0, 9);
+        self.na().put_notify(*win, na::as_bytes(&v, 8), 1, 0, 9);
         win->flush(1);  // ensure delivery order and buffer stability
       }
     } else {
-      auto req = self.na().notify_init(*win, 0, 9, 1);
+      auto req = self.na().notify_init(*win, na::MatchSpec{0, 9}, 1);
       for (int i = 0; i < kReps; ++i) {
         self.na().start(req);
         self.na().wait(req);
@@ -183,10 +182,10 @@ TEST(Na, CompletedRequestStaysCompletedUntilRestart) {
   run2([](Rank& self) {
     auto win = self.win_allocate(8, 1);
     if (self.id() == 0) {
-      self.na().put_notify(*win, nullptr, 0, 1, 0, 2);
+      self.na().put_notify(*win, na::as_bytes(nullptr, 0), 1, 0, 2);
       win->flush(1);
     } else {
-      auto req = self.na().notify_init(*win, 0, 2, 1);
+      auto req = self.na().notify_init(*win, na::MatchSpec{0, 2}, 1);
       self.na().start(req);
       self.na().wait(req);
       // Repeated tests on a completed request keep returning true.
@@ -204,18 +203,18 @@ TEST(Na, TestIsNonblocking) {
   run2([](Rank& self) {
     auto win = self.win_allocate(8, 1);
     if (self.id() == 1) {
-      auto req = self.na().notify_init(*win, 0, 1, 1);
+      auto req = self.na().notify_init(*win, na::MatchSpec{0, 1}, 1);
       self.na().start(req);
       EXPECT_FALSE(self.na().test(req));  // nothing sent yet
     }
     self.barrier();
     if (self.id() == 0) {
-      self.na().put_notify(*win, nullptr, 0, 1, 0, 1);
+      self.na().put_notify(*win, na::as_bytes(nullptr, 0), 1, 0, 1);
       win->flush(1);
     }
     self.barrier();
     if (self.id() == 1) {
-      auto req = self.na().notify_init(*win, 0, 1, 1);
+      auto req = self.na().notify_init(*win, na::MatchSpec{0, 1}, 1);
       self.na().start(req);
       EXPECT_TRUE(self.na().test(req));  // already arrived (from UQ/CQ)
     }
@@ -232,12 +231,12 @@ TEST(Na, GetNotifyNotifiesTarget) {
     self.barrier();
     if (self.id() == 0) {
       double v = 0;
-      self.na().get_notify(*win, &v, 8, 1, 2, 11);
+      self.na().get_notify(*win, na::as_writable_bytes(&v, 8), 1, 2, 11);
       win->flush(1);
       EXPECT_EQ(v, 7.25);
     } else {
       // The target learns its buffer was read and can reuse it.
-      auto req = self.na().notify_init(*win, 0, 11, 1);
+      auto req = self.na().notify_init(*win, na::MatchSpec{0, 11}, 1);
       self.na().start(req);
       na::NaStatus st;
       self.na().wait(req, &st);
@@ -257,7 +256,7 @@ TEST(Na, FetchAddNotify) {
       win->flush(1);
       EXPECT_EQ(old, 0);
     } else {
-      auto req = self.na().notify_init(*win, 0, 13, 1);
+      auto req = self.na().notify_init(*win, na::MatchSpec{0, 13}, 1);
       self.na().start(req);
       self.na().wait(req);
       EXPECT_EQ(win->local<std::int64_t>()[0], 5);
@@ -271,17 +270,17 @@ TEST(Na, SeparateWindowsDoNotCrossMatch) {
     auto w1 = self.win_allocate(8, 1);
     auto w2 = self.win_allocate(8, 1);
     if (self.id() == 0) {
-      self.na().put_notify(*w1, nullptr, 0, 1, 0, 1);
+      self.na().put_notify(*w1, na::as_bytes(nullptr, 0), 1, 0, 1);
       w1->flush(1);
     } else {
       // A request on w2 must NOT match the w1 notification.
-      auto req2 = self.na().notify_init(*w2, 0, 1, 1);
+      auto req2 = self.na().notify_init(*w2, na::MatchSpec{0, 1}, 1);
       self.na().start(req2);
       // Give the notification time to arrive, then check.
       self.ctx().yield_until(us(100), "settle");
       EXPECT_FALSE(self.na().test(req2));
       // The w1 notification is now parked in the UQ; a w1 request finds it.
-      auto req1 = self.na().notify_init(*w1, 0, 1, 1);
+      auto req1 = self.na().notify_init(*w1, na::MatchSpec{0, 1}, 1);
       self.na().start(req1);
       EXPECT_TRUE(self.na().test(req1));
     }
@@ -298,14 +297,13 @@ TEST(Na, ArrivalOrderPreservedForWildcards) {
     if (self.id() == 0) {
       for (int i = 0; i < kN; ++i) {
         double v = i;
-        self.na().put_notify(*win, &v, 8, 1, static_cast<std::uint64_t>(i),
-                             20 + i);
+        self.na().put_notify(*win, na::as_bytes(&v, 8), 1, static_cast<std::uint64_t>(i), 20 + i);
         win->flush(1);
       }
     } else {
       // Wildcard requests must match in arrival order (paper: "the oldest
       // notification if multiple notifications match").
-      auto req = self.na().notify_init(*win, na::kAnySource, na::kAnyTag, 1);
+      auto req = self.na().notify_init(*win, na::MatchSpec{na::kAnySource, na::kAnyTag}, 1);
       for (int i = 0; i < kN; ++i) {
         self.na().start(req);
         na::NaStatus st;
@@ -324,17 +322,16 @@ TEST(Na, SourceWildcardTagSpecific) {
     if (self.id() != 2) {
       double v = self.id() + 0.5;
       // Both ranks send tag 3 and tag 4.
-      self.na().put_notify(*win, &v, 8, 2,
-                           static_cast<std::uint64_t>(self.id()), 3);
-      self.na().put_notify(*win, &v, 8, 2,
+      self.na().put_notify(*win, na::as_bytes(&v, 8), 2, static_cast<std::uint64_t>(self.id()), 3);
+      self.na().put_notify(*win, na::as_bytes(&v, 8), 2,
                            static_cast<std::uint64_t>(2 + self.id()), 4);
       win->flush(2);
     } else {
-      auto req4 = self.na().notify_init(*win, na::kAnySource, 4, 2);
+      auto req4 = self.na().notify_init(*win, na::MatchSpec{na::kAnySource, 4}, 2);
       self.na().start(req4);
       self.na().wait(req4);
       // Both tag-3 notifications remain for later.
-      auto req3 = self.na().notify_init(*win, na::kAnySource, 3, 2);
+      auto req3 = self.na().notify_init(*win, na::MatchSpec{na::kAnySource, 3}, 2);
       self.na().start(req3);
       self.na().wait(req3);
       EXPECT_EQ(self.na().uq_size(), 0u);
@@ -349,7 +346,7 @@ TEST(Na, InvalidTagAborts) {
     auto win = self.win_allocate(8, 1);
     if (self.id() == 0) {
       EXPECT_DEATH(
-          self.na().put_notify(*win, nullptr, 0, 1, 0,
+          self.na().put_notify(*win, na::as_bytes(nullptr, 0), 1, 0,
                                static_cast<int>(net::kMaxTag) + 1),
           "immediate range");
     }
@@ -361,7 +358,7 @@ TEST(Na, FreeChargesAndInvalidates) {
   World world(1);
   world.run([](Rank& self) {
     auto win = self.win_allocate(8, 1);
-    auto req = self.na().notify_init(*win, na::kAnySource, na::kAnyTag, 1);
+    auto req = self.na().notify_init(*win, na::MatchSpec{na::kAnySource, na::kAnyTag}, 1);
     EXPECT_TRUE(req.valid());
     self.na().free(req);
     EXPECT_FALSE(req.valid());
@@ -377,10 +374,10 @@ TEST(NaShm, InlineTransferSmallPut) {
         auto win = self.win_allocate(8 * sizeof(double), sizeof(double));
         if (self.id() == 0) {
           std::vector<double> v{3.25, 4.25};
-          self.na().put_notify(*win, v.data(), 16, 1, 2, 5);
+          self.na().put_notify(*win, na::as_bytes(v.data(), 16), 1, 2, 5);
           win->flush(1);
         } else {
-          auto req = self.na().notify_init(*win, 0, 5, 1);
+          auto req = self.na().notify_init(*win, na::MatchSpec{0, 5}, 1);
           self.na().start(req);
           na::NaStatus st;
           self.na().wait(req, &st);
@@ -403,10 +400,10 @@ TEST(NaShm, LargePutUsesCopyThenNotify) {
         if (self.id() == 0) {
           std::vector<double> v(n);
           for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<double>(i);
-          self.na().put_notify(*win, v.data(), n * 8, 1, 0, 6);
+          self.na().put_notify(*win, na::as_bytes(v.data(), n * 8), 1, 0, 6);
           win->flush(1);
         } else {
-          auto req = self.na().notify_init(*win, 0, 6, 1);
+          auto req = self.na().notify_init(*win, na::MatchSpec{0, 6}, 1);
           self.na().start(req);
           self.na().wait(req);
           auto mem = win->local<double>();
@@ -426,10 +423,10 @@ TEST(NaShm, InlineDisabledStillCorrect) {
         auto win = self.win_allocate(sizeof(double), sizeof(double));
         if (self.id() == 0) {
           double v = 1.75;
-          self.na().put_notify(*win, &v, 8, 1, 0, 2);
+          self.na().put_notify(*win, na::as_bytes(&v, 8), 1, 0, 2);
           win->flush(1);
         } else {
-          auto req = self.na().notify_init(*win, 0, 2, 1);
+          auto req = self.na().notify_init(*win, na::MatchSpec{0, 2}, 1);
           self.na().start(req);
           self.na().wait(req);
           EXPECT_EQ(win->local<double>()[0], 1.75);
@@ -449,12 +446,12 @@ TEST(NaShm, MixedTransportsBothQueuesPolled) {
     auto win = self.win_allocate(2 * sizeof(double), sizeof(double));
     if (self.id() == 1 || self.id() == 2) {
       double v = self.id() * 1.0;
-      self.na().put_notify(*win, &v, 8, 0,
+      self.na().put_notify(*win, na::as_bytes(&v, 8), 0,
                            static_cast<std::uint64_t>(self.id() - 1), 8);
       win->flush(0);
     }
     if (self.id() == 0) {
-      auto req = self.na().notify_init(*win, na::kAnySource, 8, 2);
+      auto req = self.na().notify_init(*win, na::MatchSpec{na::kAnySource, 8}, 2);
       self.na().start(req);
       self.na().wait(req);
       auto mem = win->local<double>();
@@ -474,10 +471,10 @@ TEST(NaCache, TwoCompulsoryMissesPerMatchedNotification) {
     auto win = self.win_allocate(sizeof(double), sizeof(double));
     if (self.id() == 0) {
       double v = 1;
-      self.na().put_notify(*win, &v, 8, 1, 0, 1);
+      self.na().put_notify(*win, na::as_bytes(&v, 8), 1, 0, 1);
       win->flush(1);
     } else {
-      auto req = self.na().notify_init(*win, 0, 1, 1);
+      auto req = self.na().notify_init(*win, na::MatchSpec{0, 1}, 1);
       self.na().start(req);
       // Wait for arrival first so the instrumented test() completes in one
       // call, then measure with a cold cache.

@@ -91,8 +91,10 @@ TEST(NaSpanApi, StridedSpanMatchesRawShim) {
           self.na().put_notify_strided(*win, std::as_bytes(std::span(buf)),
                                        kBlock, kBlocks, kStride, 1, 0, 8, 3);
         } else {
-          self.na().put_notify_strided(*win, buf.data(), kBlock, kBlocks,
-                                       kStride, 1, 0, 8, 3);
+          self.na().put_notify_strided(
+              *win,
+              na::as_bytes(buf.data(), (kBlocks - 1) * kStride + kBlock),
+              kBlock, kBlocks, kStride, 1, 0, 8, 3);
         }
         win->flush(1);
       } else {
@@ -129,12 +131,12 @@ TEST(NaMatchSpecApi, ProbeOverloadsAgree) {
           self.na().probe(*win, MatchSpec{0, 4});
       EXPECT_TRUE(self.na().iprobe(*win, MatchSpec{0, 4}, &st_new));
       na::NaStatus st_old;
-      EXPECT_TRUE(self.na().iprobe(*win, 0, 4, &st_old));
+      EXPECT_TRUE(self.na().iprobe(*win, MatchSpec{0, 4}, &st_old));
       EXPECT_EQ(st_new.source, st_old.source);
       EXPECT_EQ(st_new.tag, st_old.tag);
       EXPECT_EQ(st_blocking.tag, 4);
       // Probing never consumed: the notification still matches a request.
-      auto req = self.na().notify_init(*win, 0, 4, 1);  // deprecated shim
+      auto req = self.na().notify_init(*win, na::MatchSpec{0, 4}, 1);  // deprecated shim
       self.na().start(req);
       EXPECT_TRUE(self.na().test(req));
       self.barrier();

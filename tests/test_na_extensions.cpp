@@ -15,23 +15,23 @@ TEST(NaProbe, IprobeSeesWithoutConsuming) {
     auto win = self.win_allocate(sizeof(double), sizeof(double));
     if (self.id() == 0) {
       double v = 5.5;
-      self.na().put_notify(*win, &v, 8, 1, 0, 7);
+      self.na().put_notify(*win, na::as_bytes(&v, 8), 1, 0, 7);
       win->flush(1);
     } else {
       na::NaStatus st;
       // Blocking probe returns the envelope...
-      st = self.na().probe(*win, 0, 7);
+      st = self.na().probe(*win, na::MatchSpec{0, 7});
       EXPECT_EQ(st.source, 0);
       EXPECT_EQ(st.tag, 7);
       EXPECT_EQ(st.bytes, 8u);
       // ...and does not consume: a second probe still sees it,
-      EXPECT_TRUE(self.na().iprobe(*win, 0, 7, nullptr));
+      EXPECT_TRUE(self.na().iprobe(*win, na::MatchSpec{0, 7}, nullptr));
       // and a request can still match it.
-      auto req = self.na().notify_init(*win, 0, 7, 1);
+      auto req = self.na().notify_init(*win, na::MatchSpec{0, 7}, 1);
       self.na().start(req);
       EXPECT_TRUE(self.na().test(req));
       // Now it is consumed.
-      EXPECT_FALSE(self.na().iprobe(*win, 0, 7, nullptr));
+      EXPECT_FALSE(self.na().iprobe(*win, na::MatchSpec{0, 7}, nullptr));
     }
     self.barrier();
   });
@@ -42,17 +42,17 @@ TEST(NaProbe, IprobeFalseWhenNothingMatches) {
   world.run([](Rank& self) {
     auto win = self.win_allocate(8, 1);
     if (self.id() == 0) {
-      self.na().put_notify(*win, nullptr, 0, 1, 0, 3);
+      self.na().put_notify(*win, na::as_bytes(nullptr, 0), 1, 0, 3);
       win->flush(1);
     }
     self.barrier();
     self.ctx().drain();
     if (self.id() == 1) {
       // Wrong tag and wrong source both miss; the notification is parked.
-      EXPECT_FALSE(self.na().iprobe(*win, 0, 4, nullptr));
-      EXPECT_FALSE(self.na().iprobe(*win, 1, 3, nullptr));
+      EXPECT_FALSE(self.na().iprobe(*win, na::MatchSpec{0, 4}, nullptr));
+      EXPECT_FALSE(self.na().iprobe(*win, na::MatchSpec{1, 3}, nullptr));
       EXPECT_EQ(self.na().uq_size(), 1u);
-      EXPECT_TRUE(self.na().iprobe(*win, na::kAnySource, na::kAnyTag,
+      EXPECT_TRUE(self.na().iprobe(*win, na::MatchSpec{na::kAnySource, na::kAnyTag},
                                    nullptr));
     }
     self.barrier();
@@ -64,11 +64,11 @@ TEST(NaProbe, WildcardProbeReportsOldest) {
   world.run([](Rank& self) {
     auto win = self.win_allocate(8, 1);
     if (self.id() == 0) {
-      self.na().put_notify(*win, nullptr, 0, 1, 0, 10);
-      self.na().put_notify(*win, nullptr, 0, 1, 0, 11);
+      self.na().put_notify(*win, na::as_bytes(nullptr, 0), 1, 0, 10);
+      self.na().put_notify(*win, na::as_bytes(nullptr, 0), 1, 0, 11);
       win->flush(1);
     } else {
-      na::NaStatus st = self.na().probe(*win, na::kAnySource, na::kAnyTag);
+      na::NaStatus st = self.na().probe(*win, na::MatchSpec{na::kAnySource, na::kAnyTag});
       EXPECT_EQ(st.tag, 10);  // arrival order
     }
     self.barrier();
@@ -87,7 +87,7 @@ TEST(NaAccumulate, CompareSwapNotify) {
       win->flush(1);
       EXPECT_EQ(old, 42);
     } else {
-      auto req = self.na().notify_init(*win, 0, 6, 1);
+      auto req = self.na().notify_init(*win, na::MatchSpec{0, 6}, 1);
       self.na().start(req);
       na::NaStatus st;
       self.na().wait(req, &st);
@@ -109,7 +109,7 @@ TEST(NaAccumulate, FailedCasStillNotifies) {
       win->flush(1);
       EXPECT_EQ(old, 0);  // compare mismatched; nothing swapped
     } else {
-      auto req = self.na().notify_init(*win, 0, 2, 1);
+      auto req = self.na().notify_init(*win, na::MatchSpec{0, 2}, 1);
       self.na().start(req);
       self.na().wait(req);  // the access is still notified
       EXPECT_EQ(win->local<std::int64_t>()[0], 0);
@@ -129,7 +129,7 @@ TEST(NaAccumulate, NotifiedFetchAddSerializes) {
       EXPECT_GE(old, 0);
       EXPECT_LT(old, 3);
     } else {
-      auto req = self.na().notify_init(*win, na::kAnySource, 4, 3);
+      auto req = self.na().notify_init(*win, na::MatchSpec{na::kAnySource, 4}, 3);
       self.na().start(req);
       self.na().wait(req);  // counting across the three adders
       EXPECT_EQ(win->local<std::int64_t>()[0], 3);
@@ -145,12 +145,12 @@ TEST(NaWaitMulti, WaitAnyReturnsCompletedIndex) {
     if (self.id() != 0) {
       // Only rank 2 sends (tag 2); rank 1 stays silent.
       if (self.id() == 2) {
-        self.na().put_notify(*win, nullptr, 0, 0, 0, 2);
+        self.na().put_notify(*win, na::as_bytes(nullptr, 0), 0, 0, 2);
         win->flush(0);
       }
     } else {
-      auto r1 = self.na().notify_init(*win, 1, 1, 1);
-      auto r2 = self.na().notify_init(*win, 2, 2, 1);
+      auto r1 = self.na().notify_init(*win, na::MatchSpec{1, 1}, 1);
+      auto r2 = self.na().notify_init(*win, na::MatchSpec{2, 2}, 1);
       self.na().start(r1);
       self.na().start(r2);
       std::array<na::NotifyRequest*, 2> reqs{&r1, &r2};
@@ -169,12 +169,12 @@ TEST(NaWaitMulti, WaitAllConsumesEverything) {
   world.run([](Rank& self) {
     auto win = self.win_allocate(8, 1);
     if (self.id() != 0) {
-      self.na().put_notify(*win, nullptr, 0, 0, 0, self.id());
+      self.na().put_notify(*win, na::as_bytes(nullptr, 0), 0, 0, self.id());
       win->flush(0);
     } else {
-      auto r1 = self.na().notify_init(*win, 1, 1, 1);
-      auto r2 = self.na().notify_init(*win, 2, 2, 1);
-      auto r3 = self.na().notify_init(*win, 3, 3, 1);
+      auto r1 = self.na().notify_init(*win, na::MatchSpec{1, 1}, 1);
+      auto r2 = self.na().notify_init(*win, na::MatchSpec{2, 2}, 1);
+      auto r3 = self.na().notify_init(*win, na::MatchSpec{3, 3}, 1);
       self.na().start(r1);
       self.na().start(r2);
       self.na().start(r3);

@@ -42,12 +42,11 @@ TEST_P(NaFanIn, EveryNotificationMatchedExactlyOnce) {
         const double v = self.id() * 1000.0 + m;
         const std::uint64_t disp =
             static_cast<std::uint64_t>(self.id()) * k + m;
-        self.na().put_notify(*win, &v, sizeof(double), consumer, disp,
-                             /*tag=*/m);
+        self.na().put_notify(*win, na::as_bytes(&v, sizeof(double)), consumer, disp, /*tag=*/m);
         win->flush(consumer);
       }
     } else {
-      auto req = self.na().notify_init(*win, na::kAnySource, na::kAnyTag, 1);
+      auto req = self.na().notify_init(*win, na::MatchSpec{na::kAnySource, na::kAnyTag}, 1);
       std::map<std::pair<int, int>, int> seen;  // (source, tag) -> count
       for (std::size_t i = 0; i < slots; ++i) {
         self.na().start(req);
@@ -103,11 +102,11 @@ TEST_P(NaOrdering, SameSourceSameTagInOrder) {
       std::vector<double> buf(elems);
       for (int i = 0; i < kN; ++i) {
         buf[0] = i;
-        self.na().put_notify(*win, buf.data(), bytes, 1, 0, 2);
+        self.na().put_notify(*win, na::as_bytes(buf.data(), bytes), 1, 0, 2);
         win->flush(1);  // keep buf stable per message
       }
     } else {
-      auto req = self.na().notify_init(*win, 0, 2, 1);
+      auto req = self.na().notify_init(*win, na::MatchSpec{0, 2}, 1);
       for (int i = 0; i < kN; ++i) {
         self.na().start(req);
         self.na().wait(req);
@@ -136,17 +135,17 @@ TEST_P(NaCounting, CountingMatchesKSingles) {
       auto win = self.win_allocate(8, 1);
       if (self.id() == 0) {
         for (int i = 0; i < k; ++i)
-          self.na().put_notify(*win, nullptr, 0, 1, 0, 1);
+          self.na().put_notify(*win, na::as_bytes(nullptr, 0), 1, 0, 1);
         win->flush(1);
       } else {
         if (counting) {
-          auto req = self.na().notify_init(
-              *win, 0, 1, static_cast<std::uint32_t>(k));
+          auto req = self.na().notify_init(*win, na::MatchSpec{0, 1},
+                                            static_cast<std::uint32_t>(k));
           self.na().start(req);
           self.na().wait(req);
           EXPECT_EQ(req.matched(), static_cast<std::uint32_t>(k));
         } else {
-          auto req = self.na().notify_init(*win, 0, 1, 1);
+          auto req = self.na().notify_init(*win, na::MatchSpec{0, 1}, 1);
           for (int i = 0; i < k; ++i) {
             self.na().start(req);
             self.na().wait(req);
@@ -173,11 +172,11 @@ TEST(NaDeterminism, IdenticalRunsIdenticalVirtualTimes) {
       auto win = self.win_allocate(4 * sizeof(double), sizeof(double));
       if (self.id() != 0) {
         double v = self.id();
-        self.na().put_notify(*win, &v, 8, 0,
+        self.na().put_notify(*win, na::as_bytes(&v, 8), 0,
                              static_cast<std::uint64_t>(self.id()), 1);
         win->flush(0);
       } else {
-        auto req = self.na().notify_init(*win, na::kAnySource, 1, 3);
+        auto req = self.na().notify_init(*win, na::MatchSpec{na::kAnySource, 1}, 3);
         self.na().start(req);
         self.na().wait(req);
       }
@@ -325,14 +324,14 @@ TEST(NaStress, MixedRequestsDrainEverything) {
     auto win = self.win_allocate(8, 1);
     if (self.id() != 0) {
       for (int m = 0; m < kPerProducer; ++m) {
-        self.na().put_notify(*win, nullptr, 0, /*target=*/0, 0, m % 2);
+        self.na().put_notify(*win, na::as_bytes(nullptr, 0), /*target=*/0, 0, m % 2);
         win->flush(0);
       }
     } else {
       const int per_tag = 2 * kPerProducer;  // 4 producers, half per tag
       // Phase 1: drain every tag-1 notification with a specific request;
       // tag-0 arrivals are forced through the unexpected queue.
-      auto req1 = self.na().notify_init(*win, na::kAnySource, 1, 1);
+      auto req1 = self.na().notify_init(*win, na::MatchSpec{na::kAnySource, 1}, 1);
       for (int i = 0; i < per_tag; ++i) {
         self.na().start(req1);
         na::NaStatus st;
@@ -342,7 +341,7 @@ TEST(NaStress, MixedRequestsDrainEverything) {
       // Phase 2: wildcards pick up the parked tag-0 notifications in
       // arrival order.
       auto req_any =
-          self.na().notify_init(*win, na::kAnySource, na::kAnyTag, 1);
+          self.na().notify_init(*win, na::MatchSpec{na::kAnySource, na::kAnyTag}, 1);
       for (int i = 0; i < per_tag; ++i) {
         self.na().start(req_any);
         na::NaStatus st;

@@ -71,7 +71,7 @@ TEST(NetPut, MovesDataAndCompletes) {
 
 TEST(NetPut, LatencyMatchesLogGP) {
   NetFixture f(2);
-  const auto& tt = f.params.fma;
+  const auto& tt = f.params.aries.fma;
   const std::size_t bytes = 1024;
   std::vector<std::byte> buf(bytes);
   const net::MemKey key = f.fabric.nic(1).register_memory(buf.data(), bytes);
@@ -95,7 +95,7 @@ TEST(NetPut, BteSelectedAboveThreshold) {
   const std::size_t bytes = 64 * 1024;
   std::vector<std::byte> buf(bytes);
   const net::MemKey key = f.fabric.nic(1).register_memory(buf.data(), bytes);
-  const auto& tt = f.params.bte;
+  const auto& tt = f.params.aries.bte;
   const Time deliver_expected =
       tt.g + static_cast<Time>(tt.G_ps_per_byte * static_cast<double>(bytes)) +
       tt.L;

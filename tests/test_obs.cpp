@@ -23,11 +23,11 @@ void run_small_exchange(World& world) {
     auto win = self.win_allocate(64, 1);
     if (self.id() == 0) {
       double v = 4.25;
-      self.na().put_notify(*win, &v, 8, 1, 0, 3);
+      self.na().put_notify(*win, na::as_bytes(&v, 8), 1, 0, 3);
       win->flush(1);
       self.send(&v, 8, 1, 4);
     } else {
-      auto req = self.na().notify_init(*win, 0, 3, 1);
+      auto req = self.na().notify_init(*win, na::MatchSpec{0, 3}, 1);
       self.na().start(req);
       self.na().wait(req);
       double v = 0;

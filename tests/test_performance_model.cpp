@@ -30,11 +30,11 @@ TEST_P(NaLatencyModel, NotifiedPutMatchesClosedForm) {
   world.run([&](Rank& self) {
     auto win = self.win_allocate(bytes + 8, 1);
     std::vector<std::byte> src(bytes);
-    auto req = self.na().notify_init(*win, 0, 1, 1);
+    auto req = self.na().notify_init(*win, na::MatchSpec{0, 1}, 1);
     self.barrier();
     if (self.id() == 0) {
       issue = self.now();
-      self.na().put_notify(*win, src.data(), bytes, 1, 0, 1);
+      self.na().put_notify(*win, na::as_bytes(src.data(), bytes), 1, 0, 1);
     } else {
       self.na().start(req);
       self.na().wait(req);
@@ -45,7 +45,7 @@ TEST_P(NaLatencyModel, NotifiedPutMatchesClosedForm) {
 
   // t_na + wire(transport(bytes)) + cq_poll + o_r, exactly.
   const net::Transport tr =
-      bytes >= wp.fabric.fma_bte_threshold ? net::Transport::kBte
+      bytes >= wp.fabric.aries.fma_bte_threshold ? net::Transport::kBte
                                            : net::Transport::kFma;
   const Time expected = wp.na.t_na + wire(wp.fabric.timing(tr), bytes) +
                         wp.na.cq_poll + wp.na.o_r;
@@ -77,7 +77,7 @@ TEST(LatencyModel, FlushCostsAckLatency) {
   // which arrives at an absolute time — charges made while waiting for a
   // later event never add to the end time.
   const Time expected =
-      wp.rma.o_put + wire(wp.fabric.fma, 8) + wp.fabric.fma.ack_L;
+      wp.rma.o_put + wire(wp.fabric.aries.fma, 8) + wp.fabric.aries.fma.ack_L;
   EXPECT_EQ(span, expected);
 }
 
@@ -100,8 +100,8 @@ TEST(LatencyModel, GetIsRequestPlusResponse) {
   });
   // o_put + request wire (0 B) + response wire (bytes); the flush overhead
   // is absorbed into the wait for the response (see FlushCostsAckLatency).
-  const Time expected = wp.rma.o_put + wire(wp.fabric.fma, 0) +
-                        wire(wp.fabric.fma, bytes);
+  const Time expected = wp.rma.o_put + wire(wp.fabric.aries.fma, 0) +
+                        wire(wp.fabric.aries.fma, bytes);
   EXPECT_EQ(span, expected);
 }
 
@@ -130,7 +130,7 @@ TEST(LatencyModel, EagerSendMatchesClosedForm) {
   // posts first) + o_match + receiver copy.
   const Time expected =
       wp.mp.o_send + copy(bytes) +
-      wire(wp.fabric.fma, wp.fabric.ctrl_msg_bytes + bytes) +
+      wire(wp.fabric.aries.fma, wp.fabric.ctrl_msg_bytes + bytes) +
       wp.mp.o_match + copy(bytes);
   // The receiver also pays o_recv_post before blocking; it overlaps the
   // wire time if the message is still in flight, so the one-way time seen
@@ -145,11 +145,11 @@ TEST(LatencyModel, ShmInlineNotifiedPut) {
   world.run([&](Rank& self) {
     auto win = self.win_allocate(64, 1);
     double v = 1;
-    auto req = self.na().notify_init(*win, 0, 1, 1);
+    auto req = self.na().notify_init(*win, na::MatchSpec{0, 1}, 1);
     self.barrier();
     if (self.id() == 0) {
       issue = self.now();
-      self.na().put_notify(*win, &v, 8, 1, 0, 1);
+      self.na().put_notify(*win, na::as_bytes(&v, 8), 1, 0, 1);
     } else {
       self.na().start(req);
       self.na().wait(req);
@@ -158,7 +158,7 @@ TEST(LatencyModel, ShmInlineNotifiedPut) {
     self.barrier();
   });
   // t_na + one cache-line shm transfer + cq_poll + inline commit + o_r.
-  const Time expected = wp.na.t_na + wire(wp.fabric.shm, 64) +
+  const Time expected = wp.na.t_na + wire(wp.fabric.shm.timing, 64) +
                         wp.na.cq_poll + wp.na.inline_commit + wp.na.o_r;
   EXPECT_EQ(complete - issue, expected);
 }
@@ -173,12 +173,12 @@ TEST(LatencyModel, BackToBackPutsSerializeOnChannel) {
   world.run([&](Rank& self) {
     auto win = self.win_allocate(2 * bytes, 1);
     std::vector<std::byte> src(bytes);
-    auto req = self.na().notify_init(*win, 0, 1, 2);
+    auto req = self.na().notify_init(*win, na::MatchSpec{0, 1}, 2);
     self.barrier();
     if (self.id() == 0) {
       issue = self.now();
-      self.na().put_notify(*win, src.data(), bytes, 1, 0, 1);
-      self.na().put_notify(*win, src.data(), bytes, 1, bytes, 1);
+      self.na().put_notify(*win, na::as_bytes(src.data(), bytes), 1, 0, 1);
+      self.na().put_notify(*win, na::as_bytes(src.data(), bytes), 1, bytes, 1);
     } else {
       self.na().start(req);
       self.na().wait(req);
@@ -186,7 +186,7 @@ TEST(LatencyModel, BackToBackPutsSerializeOnChannel) {
     }
     self.barrier();
   });
-  const auto& tt = wp.fabric.bte;
+  const auto& tt = wp.fabric.aries.bte;
   const Time serialization =
       tt.g + static_cast<Time>(tt.G_ps_per_byte * static_cast<double>(bytes));
   // The first put injects at issue + t_na and occupies the channel for

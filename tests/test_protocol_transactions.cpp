@@ -110,10 +110,10 @@ TEST(Fig2, NotifiedAccessSingleTransaction) {
   WorldParams wp;
   const auto c = measure(256, wp, [&](Rank& self, rma::Window& win) {
     if (self.id() == 0) {
-      self.na().put_notify(win, buf.data(), buf.size(), 1, 0, 1);
+      self.na().put_notify(win, na::as_bytes(buf.data(), buf.size()), 1, 0, 1);
       win.flush(1);
     } else {
-      auto req = self.na().notify_init(win, 0, 1, 1);
+      auto req = self.na().notify_init(win, na::MatchSpec{0, 1}, 1);
       self.na().start(req);
       self.na().wait(req);
     }
@@ -129,10 +129,10 @@ TEST(Fig2, NotifiedGetTwoTransactionsRequestResponse) {
   std::vector<char> buf(256);
   const auto c = measure(256, {}, [&](Rank& self, rma::Window& win) {
     if (self.id() == 0) {
-      self.na().get_notify(win, buf.data(), buf.size(), 1, 0, 1);
+      self.na().get_notify(win, na::as_writable_bytes(buf.data(), buf.size()), 1, 0, 1);
       win.flush(1);
     } else {
-      auto req = self.na().notify_init(win, 0, 1, 1);
+      auto req = self.na().notify_init(win, na::MatchSpec{0, 1}, 1);
       self.na().start(req);
       self.na().wait(req);
     }
@@ -165,10 +165,10 @@ TEST(Fig2, LatencyOrderingMatchesThePaper) {
 
   const Time t_na = one_way([&](Rank& self, rma::Window& win) {
     if (self.id() == 0) {
-      self.na().put_notify(win, buf.data(), 8, 1, 0, 1);
+      self.na().put_notify(win, na::as_bytes(buf.data(), 8), 1, 0, 1);
       win.flush(1);
     } else {
-      auto req = self.na().notify_init(win, 0, 1, 1);
+      auto req = self.na().notify_init(win, na::MatchSpec{0, 1}, 1);
       self.na().start(req);
       self.na().wait(req);
     }

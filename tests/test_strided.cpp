@@ -95,11 +95,12 @@ TEST(Strided, NotifiedStridedPutMatchesAndCommits) {
     if (self.id() == 0) {
       std::vector<double> blocks{1, 2, 3, 4};
       // 4 single-double blocks, source contiguous, target stride 16.
-      self.na().put_notify_strided(*win, blocks.data(), sizeof(double), 4,
-                                   sizeof(double), 1, 0, 16, /*tag=*/9);
+      self.na().put_notify_strided(
+          *win, na::as_bytes(blocks.data(), 4 * sizeof(double)),
+          sizeof(double), 4, sizeof(double), 1, 0, 16, /*tag=*/9);
       win->flush(1);
     } else {
-      auto req = self.na().notify_init(*win, 0, 9, 1);
+      auto req = self.na().notify_init(*win, na::MatchSpec{0, 9}, 1);
       self.na().start(req);
       na::NaStatus st;
       self.na().wait(req, &st);

@@ -81,12 +81,29 @@ int usage() {
       "            breakdown, per-rank share, slowest messages, per-\n"
       "            category latency statistics\n"
       "\n"
-      "common:     [--trace=FILE]     write a Chrome trace of the run\n"
+      "common:     [--transport=aries|ramc|verbs]  inter-node backend\n"
+      "                               (default aries; or env NARMA_TRANSPORT)\n"
+      "            [--trace=FILE]     write a Chrome trace of the run\n"
       "            [--metrics=FILE]   write the metrics registry dump\n"
       "            [--msgtrace=FILE]  write the causal message trace\n"
       "            [--msgtrace-sample=N]  trace every Nth message (default 1)\n",
       stderr);
   return 2;
+}
+
+/// Applies the --transport flag: selects the inter-node backend for every
+/// channel (intra-node stays on shm). Mirrors the NARMA_TRANSPORT env knob.
+void apply_transport(WorldParams& wp, const Args& a) {
+  const std::string t = a.get("transport", "");
+  if (t.empty()) return;
+  if (t == "aries")
+    wp.fabric.inter_node = net::BackendKind::kAries;
+  else if (t == "ramc")
+    wp.fabric.inter_node = net::BackendKind::kRamc;
+  else if (t == "verbs")
+    wp.fabric.inter_node = net::BackendKind::kVerbs;
+  else
+    NARMA_FATAL("unknown --transport value") << " \"" << t << '"';
 }
 
 /// Enables the observability sinks a run asked for (call before run()).
@@ -438,6 +455,7 @@ int run_pingpong(const Args& a) {
 
   WorldParams wp;
   if (a.kv.count("intranode")) wp.fabric.ranks_per_node = ranks;
+  apply_transport(wp, a);
   World world(2, wp);
   enable_observability(world, a);
 
@@ -446,20 +464,20 @@ int run_pingpong(const Args& a) {
     const int partner = 1 - self.id();
     auto win = self.win_allocate(2 * bytes + 16, 1);
     std::vector<std::byte> buf(bytes, std::byte{1});
-    auto req = self.na().notify_init(*win, partner, 9, 1);
+    auto req = self.na().notify_init(*win, na::MatchSpec{partner, 9}, 1);
     for (int r = 0; r < reps + 2; ++r) {
       self.barrier();
       const Time t0 = self.now();
       auto ping_pong_na = [&](bool first) {
         if (first) {
-          self.na().put_notify(*win, buf.data(), bytes, partner, 0, 9);
+          self.na().put_notify(*win, na::as_bytes(buf.data(), bytes), partner, 0, 9);
           win->flush(partner);
           self.na().start(req);
           self.na().wait(req);
         } else {
           self.na().start(req);
           self.na().wait(req);
-          self.na().put_notify(*win, buf.data(), bytes, partner, bytes, 9);
+          self.na().put_notify(*win, na::as_bytes(buf.data(), bytes), partner, bytes, 9);
           win->flush(partner);
         }
       };
@@ -518,7 +536,9 @@ int run_stencil(const Args& a) {
                 : v == "fence" ? apps::StencilVariant::kFence
                 : v == "pscw"  ? apps::StencilVariant::kPscw
                                : apps::StencilVariant::kNotified;
-  World world(ranks);
+  WorldParams wp;
+  apply_transport(wp, a);
+  World world(ranks, wp);
   enable_observability(world, a);
   apps::StencilResult res;
   world.run([&](Rank& self) {
@@ -544,7 +564,9 @@ int run_tree(const Args& a) {
                 : v == "pscw"   ? apps::TreeVariant::kPscw
                 : v == "vendor" ? apps::TreeVariant::kVendorReduce
                                 : apps::TreeVariant::kNotified;
-  World world(ranks);
+  WorldParams wp;
+  apply_transport(wp, a);
+  World world(ranks, wp);
   enable_observability(world, a);
   apps::TreeResult res;
   world.run([&](Rank& self) {
@@ -570,7 +592,9 @@ int run_cholesky(const Args& a) {
   cfg.variant = v == "mp"   ? apps::CholeskyVariant::kMessagePassing
                 : v == "os" ? apps::CholeskyVariant::kOneSided
                             : apps::CholeskyVariant::kNotified;
-  World world(ranks);
+  WorldParams wp;
+  apply_transport(wp, a);
+  World world(ranks, wp);
   enable_observability(world, a);
   apps::CholeskyResult res;
   world.run([&](Rank& self) {
