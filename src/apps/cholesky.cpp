@@ -235,8 +235,11 @@ CholeskyResult CholeskyRun::run() {
   self_.barrier();
   const Time t0 = self_.now();
 
-  // Kernel execution with either measured or modeled compute charging.
+  // Kernel execution with either measured or modeled compute charging; the
+  // host-time profiler attributes the kernel to app_compute either way.
   auto charge_kernel = [&](double flops, auto&& fn) {
+    obs::PhaseScope prof_scope(self_.world().profiler(),
+                               obs::Phase::kAppCompute);
     c_kernels_.inc();
     if (cfg_.model_gflops > 0) {
       fn();

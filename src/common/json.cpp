@@ -1,6 +1,7 @@
 #include "common/json.hpp"
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -279,6 +280,117 @@ ParseResult parse_file(const std::string& path) {
   ss << in.rdbuf();
   const std::string text = ss.str();
   return parse(text);
+}
+
+// ------------------------------------------------------------------ Writer --
+
+void Writer::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_prev_.empty()) {
+    if (has_prev_.back()) out_ += ',';
+    has_prev_.back() = true;
+  }
+}
+
+Writer& Writer::begin_object() {
+  separate();
+  out_ += '{';
+  has_prev_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::end_object() {
+  out_ += '}';
+  has_prev_.pop_back();
+  return *this;
+}
+
+Writer& Writer::begin_array() {
+  separate();
+  out_ += '[';
+  has_prev_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::end_array() {
+  out_ += ']';
+  has_prev_.pop_back();
+  return *this;
+}
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Writer& Writer::key(std::string_view k) {
+  separate();
+  append_escaped(out_, k);
+  out_ += ':';
+  after_key_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::string_view s) {
+  separate();
+  append_escaped(out_, s);
+  return *this;
+}
+
+Writer& Writer::value(double d) {
+  separate();
+  // Shortest form that round-trips the double exactly.
+  char buf[32];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
+    double back = 0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == d) break;
+  }
+  out_ += buf;
+  return *this;
+}
+
+Writer& Writer::value(std::uint64_t v) {
+  separate();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+Writer& Writer::value(std::int64_t v) {
+  separate();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+Writer& Writer::value(bool b) {
+  separate();
+  out_ += b ? "true" : "false";
+  return *this;
 }
 
 }  // namespace narma::json

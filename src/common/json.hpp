@@ -84,4 +84,41 @@ ParseResult parse(std::string_view text);
 /// Reads and parses a file; error mentions the path on I/O failure.
 ParseResult parse_file(const std::string& path);
 
+/// Minimal streaming writer — the emit counterpart of parse() for the
+/// repository's machine-readable outputs (flight-recorder time series).
+/// Tracks nesting and comma placement; integers are emitted exactly (the
+/// telescoping checks compare sums of 64-bit picosecond values), doubles
+/// with enough digits to round-trip. Keys and string values are escaped.
+class Writer {
+ public:
+  Writer& begin_object();
+  Writer& end_object();
+  Writer& begin_array();
+  Writer& end_array();
+  Writer& key(std::string_view k);
+  Writer& value(std::string_view s);
+  Writer& value(const char* s) { return value(std::string_view(s)); }
+  Writer& value(double d);
+  Writer& value(std::uint64_t v);
+  Writer& value(std::int64_t v);
+  Writer& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  Writer& value(bool b);
+
+  /// Shorthand: key(k) followed by value(v).
+  template <class T>
+  Writer& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void separate();  // comma before a sibling element/key
+
+  std::string out_;
+  std::vector<bool> has_prev_;  // per nesting level
+  bool after_key_ = false;
+};
+
 }  // namespace narma::json

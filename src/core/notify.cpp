@@ -393,8 +393,10 @@ bool NaEngine::pop_hw(UqEntry& out) {
   nic.ctx().advance(params_.cq_poll);
   // Backend-specific drain cost (RAMC ring-slot pop, verbs RQE repost);
   // zero for shm/aries, so the default path advances by nothing.
-  if (const Time c = nic.fabric().consume_overhead(n.backend))
+  if (const Time c = nic.fabric().consume_overhead(n.backend)) {
     nic.ctx().advance(c);
+    nic.fabric().note_drain(rank(), n.backend, c);
+  }
   if (n.msg)
     if (auto* mt = nic.fabric().msgtrace())
       mt->hop(n.msg, rank(), obs::HopKind::kPop, nic.ctx().now());
@@ -414,8 +416,12 @@ std::size_t NaEngine::drain_hw(std::span<net::HwNotification> out) {
   // Backend-specific per-entry drain costs (RAMC ring-slot pop, verbs RQE
   // repost); zero on the default shm/aries path.
   Time consume = 0;
-  for (std::size_t i = 0; i < n; ++i)
-    consume += nic.fabric().consume_overhead(out[i].backend);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (const Time c = nic.fabric().consume_overhead(out[i].backend)) {
+      consume += c;
+      nic.fabric().note_drain(rank(), out[i].backend, c);
+    }
+  }
   if (consume) nic.ctx().advance(consume);
   if (auto* mt = nic.fabric().msgtrace()) {
     const Time now = nic.ctx().now();
@@ -528,6 +534,11 @@ void NaEngine::test_indexed(RequestSlot& s, NaStatus& st) {
 }
 
 bool NaEngine::test(NotifyRequest& req, NaStatus* status) {
+  // Host-time attribution: everything below (UQ scan / index probe, hardware
+  // drain, consume bookkeeping) is matching work. Events drained on this
+  // thread open their own narrower scopes and restore kMatch on exit.
+  obs::PhaseScope prof_scope(router_.nic().fabric().profiler(),
+                             obs::Phase::kMatch);
   NARMA_CHECK(req.valid() && req.engine_ == this);
   RequestSlot& s = *req.slot_;
   NARMA_CHECK(s.started) << "test on a notification request that was not "
@@ -694,6 +705,8 @@ bool NaEngine::iprobe_indexed(const RequestSlot& probe_slot,
 }
 
 bool NaEngine::iprobe(rma::Window& win, MatchSpec match, NaStatus* status) {
+  obs::PhaseScope prof_scope(router_.nic().fabric().profiler(),
+                             obs::Phase::kMatch);
   NARMA_CHECK(match.any_source() ||
               (match.source >= 0 && match.source < win.nranks()));
   router_.nic().ctx().drain();

@@ -1,5 +1,10 @@
 #include "core/world.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/assert.hpp"
 #include "common/env.hpp"
 #include "common/fatal.hpp"
 
@@ -47,6 +52,9 @@ void world_crash_dump(void* world) {
   w->dump_metrics(dir + "/crash_metrics.json");
   w->dump_trace(dir + "/crash_trace.json");
   w->dump_msgtrace(dir + "/crash_msgtrace.json");
+  // Windows captured so far; the crash window itself is lost (finalize
+  // never ran), but the time axis up to the failure survives.
+  w->dump_timeseries(dir + "/crash_timeseries.json");
 }
 
 }  // namespace
@@ -60,17 +68,46 @@ World::World(int nranks, WorldParams params)
       fabric_(std::make_unique<net::Fabric>(*engine_, params_.fabric,
                                             metrics_.get())) {
   if (params_.obs.msgtrace) enable_msgtrace();
+  if (params_.obs.timeseries) enable_timeseries();
   if (!env::get_string("NARMA_CRASH_DIR", "").empty())
     register_crash_hook(&world_crash_dump, this);
+}
+
+void World::enable_timeseries(Time window_ps) {
+  if (window_ps) params_.obs.timeseries_window_ps = window_ps;
+  params_.obs.timeseries = true;
+  NARMA_CHECK(metrics_ != nullptr)
+      << "the flight recorder snapshots the metrics registry; enable "
+         "WorldParams::enable_metrics";
+  if (timeseries_) return;
+  timeseries_ =
+      std::make_unique<obs::TimeSeries>(*metrics_, *engine_, params_.obs);
+  engine_->set_time_probe(
+      timeseries_->window(), [this](Time boundary, Time horizon) {
+        // The snapshot pass is itself obs work; charge it to the obs phase
+        // so the recorder's own overhead shows up in the budget it reports.
+        obs::PhaseScope scope(profiler_.get(), obs::Phase::kObs);
+        return timeseries_->on_boundary(boundary, horizon);
+      });
+}
+
+void World::enable_profiling() {
+  if (profiler_) return;
+  profiler_ = std::make_unique<obs::Profiler>();
+  engine_->set_profiler(profiler_.get());
+  fabric_->set_profiler(profiler_.get());
+  if (msgtrace_) msgtrace_->set_profiler(profiler_.get());
 }
 
 World::~World() { unregister_crash_hook(&world_crash_dump, this); }
 
 void World::run(const std::function<void(Rank&)>& rank_main) {
+  if (profiler_) profiler_->start();
   engine_->run([this, &rank_main](sim::RankCtx& ctx) {
     Rank rank(*this, ctx);
     rank_main(rank);
   });
+  if (profiler_) profiler_->stop();
   if (!metrics_) return;
   // Engine-level accounting, filled in after the run: per-rank busy/blocked
   // split of the final virtual time, plus the global event count. Gauges are
@@ -130,6 +167,74 @@ void World::run(const std::function<void(Rank&)>& rank_main) {
         .set(static_cast<std::int64_t>((total - blocked) / kPicosPerNano),
              total);
   }
+  // Host-time phase attribution (gauges the flight recorder excludes from
+  // its snapshots — see obs/timeseries.cpp — so they never break the
+  // bit-determinism of the time-series JSON).
+  if (profiler_) profiler_->export_to(*metrics_, t_end);
+  // The recorder finalizes *after* every post-run metric write above so the
+  // final window's deltas telescope exactly to the narma.metrics.v1 totals.
+  if (timeseries_) {
+    timeseries_->finalize(t_end);
+    if (msgtrace_) timeseries_->set_residuals(residual_rows());
+  }
+}
+
+std::vector<obs::TimeSeries::ResidualRow> World::residual_rows() const {
+  // Group completed traced messages by (window containing t_end, backend)
+  // and compare the measured channel stage — queueing + gap + serialization
+  // + wire, straight from the hop decomposition — against the single-leg
+  // LogGP floor g + G*bytes + L of the lane the backend routes that size
+  // to. The residual is nonnegative in a clean run; persistently large
+  // means congestion, retries, or multi-leg notification overhead (RAMC's
+  // descriptor leg) the base model does not carry.
+  std::vector<obs::TimeSeries::ResidualRow> rows;
+  const auto& windows = timeseries_->windows();
+  if (windows.empty()) return rows;
+  struct Acc {
+    std::uint64_t msgs = 0;
+    double model = 0;
+    double resid = 0;
+    double max_abs = 0;
+  };
+  std::map<std::pair<std::uint32_t, std::string>, Acc> groups;
+  auto cat = [](const obs::MsgTrace::MsgSummary& m, obs::LatCat c) {
+    return static_cast<double>(m.cat[static_cast<std::size_t>(c)]);
+  };
+  for (const auto& m : msgtrace_->summarize()) {
+    if (!m.complete) continue;
+    // Window holding the completion time: first window whose end exceeds
+    // t_end (the last window absorbs anything at/after its end).
+    std::uint32_t wi = 0;
+    while (wi + 1 < windows.size() && windows[wi].t_end <= m.t_end) ++wi;
+    const net::TransportBackend& be = fabric_->backend_for(m.src, m.dst);
+    const net::TransportTiming& tm = be.timing(be.lane(m.bytes));
+    const double model = static_cast<double>(tm.L) +
+                         static_cast<double>(tm.g) +
+                         tm.G_ps_per_byte * static_cast<double>(m.bytes);
+    const double measured =
+        cat(m, obs::LatCat::kChanQueue) + cat(m, obs::LatCat::kGap) +
+        cat(m, obs::LatCat::kSer) + cat(m, obs::LatCat::kWire);
+    const double resid = measured - model;
+    Acc& acc = groups[{wi, be.name()}];
+    ++acc.msgs;
+    acc.model += model;
+    acc.resid += resid;
+    acc.max_abs = std::max(acc.max_abs, std::abs(resid));
+  }
+  rows.reserve(groups.size());
+  for (const auto& [key, acc] : groups) {
+    obs::TimeSeries::ResidualRow r;
+    r.window = key.first;
+    r.backend = key.second;
+    r.msgs = acc.msgs;
+    r.mean_model_ps = acc.model / static_cast<double>(acc.msgs);
+    r.mean_residual_ps = acc.resid / static_cast<double>(acc.msgs);
+    r.max_abs_residual_ps = acc.max_abs;
+    r.flagged = r.mean_residual_ps >
+                params_.obs.residual_threshold * r.mean_model_ps;
+    rows.push_back(std::move(r));
+  }
+  return rows;
 }
 
 Rank::Rank(World& world, sim::RankCtx& ctx)

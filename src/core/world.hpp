@@ -29,6 +29,8 @@
 #include "obs/metrics.hpp"
 #include "obs/msgtrace.hpp"
 #include "obs/params.hpp"
+#include "obs/profile.hpp"
+#include "obs/timeseries.hpp"
 #include "rma/window.hpp"
 #include "sim/engine.hpp"
 
@@ -114,6 +116,7 @@ class World {
     if (!msgtrace_)
       msgtrace_ = std::make_unique<obs::MsgTrace>(engine_->nranks(),
                                                   params_.obs);
+    if (profiler_) msgtrace_->set_profiler(profiler_.get());
     fabric_->set_msgtrace(msgtrace_.get());
   }
   obs::MsgTrace* msgtrace() { return msgtrace_.get(); }
@@ -123,13 +126,38 @@ class World {
     return msgtrace_ && msgtrace_->write_json(path);
   }
 
+  /// Turns on the flight recorder (call before run(); requires metrics).
+  /// `window_ps` overrides ObsParams::timeseries_window_ps when nonzero.
+  /// Snapshots only read state, so virtual times are bit-identical with
+  /// the recorder on or off (DESIGN.md §12).
+  void enable_timeseries(Time window_ps = 0);
+  obs::TimeSeries* timeseries() { return timeseries_.get(); }
+  /// Writes the narma.timeseries.v1 JSON dump; false when the recorder is
+  /// disabled or the file cannot be written.
+  bool dump_timeseries(const std::string& path) const {
+    return timeseries_ && timeseries_->write_json(path);
+  }
+
+  /// Turns on phase-attributed host profiling (call before run()). The
+  /// profiler reads host clocks only — virtual times are unchanged; its
+  /// results are exported as obs.phase_* / obs.profile_* gauges after the
+  /// run and surfaced by `narma_cli report`.
+  void enable_profiling();
+  obs::Profiler* profiler() { return profiler_.get(); }
+
  private:
+  /// Per-(window, backend) measured-vs-LogGP residual rows from the
+  /// msgtrace summaries; fed to the recorder after finalize.
+  std::vector<obs::TimeSeries::ResidualRow> residual_rows() const;
+
   WorldParams params_;
   std::unique_ptr<sim::Engine> engine_;
   std::unique_ptr<obs::Registry> metrics_;  // before fabric_: Nics bind here
   std::unique_ptr<net::Fabric> fabric_;
   std::unique_ptr<sim::Tracer> tracer_;
   std::unique_ptr<obs::MsgTrace> msgtrace_;
+  std::unique_ptr<obs::TimeSeries> timeseries_;
+  std::unique_ptr<obs::Profiler> profiler_;
 };
 
 /// Per-rank handle. Constructed by World::run on the rank's own thread;

@@ -45,6 +45,10 @@ void Endpoint::sample_queue_depths() {
 // --- Send path ---------------------------------------------------------------
 
 Request Endpoint::isend(const void* buf, std::size_t bytes, int dst, int tag) {
+  // Host-time attribution: sender-side staging / protocol setup is transfer
+  // plumbing (the fabric's channel math opens its own kTransfer scope too).
+  obs::PhaseScope prof_scope(router_.nic().fabric().profiler(),
+                             obs::Phase::kTransfer);
   NARMA_CHECK(tag >= 0 && tag < kMaxUserTag + 0x4000) << "tag out of range";
   NARMA_CHECK(dst >= 0 && dst < nranks()) << "bad destination " << dst;
   auto& ctx = router_.nic().ctx();
@@ -126,6 +130,9 @@ Request Endpoint::isend(const void* buf, std::size_t bytes, int dst, int tag) {
 // --- Receive path --------------------------------------------------------------
 
 Request Endpoint::irecv(void* buf, std::size_t capacity, int src, int tag) {
+  // Receive posting + unexpected-queue matching is envelope matching work.
+  obs::PhaseScope prof_scope(router_.nic().fabric().profiler(),
+                             obs::Phase::kMatch);
   NARMA_CHECK(src == kAnySource || (src >= 0 && src < nranks()));
   auto& ctx = router_.nic().ctx();
   ctx.advance(params_.o_recv_post);

@@ -72,6 +72,9 @@ Fabric::Fabric(sim::Engine& engine, FabricParams params,
     static const char* kNotifNames[kNumBackends] = {
         "net.shm_notifs", "net.aries_notifs", "net.ramc_notifs",
         "net.verbs_notifs"};
+    static const char* kDrainNames[kNumBackends] = {
+        "net.shm_drain_ps", "net.aries_drain_ps", "net.ramc_drain_ps",
+        "net.verbs_drain_ps"};
     bool lane_used[kNumTransports] = {};
     for (int b = 0; b < kNumBackends; ++b) {
       if (!used[b]) continue;
@@ -87,8 +90,11 @@ Fabric::Fabric(sim::Engine& engine, FabricParams params,
         m.ops[t] = metrics_->counter(kOpNames[t], r);
         m.bytes[t] = metrics_->counter(kByteNames[t], r);
       }
-      for (int b = 0; b < kNumBackends; ++b)
-        if (used[b]) m.notifs[b] = metrics_->counter(kNotifNames[b], r);
+      for (int b = 0; b < kNumBackends; ++b) {
+        if (!used[b]) continue;
+        m.notifs[b] = metrics_->counter(kNotifNames[b], r);
+        m.drain_ps[b] = metrics_->counter(kDrainNames[b], r);
+      }
       m.queue_delay = metrics_->histogram("net.chan_queue_ns", r);
     }
   }
@@ -120,6 +126,7 @@ Nic& Fabric::nic(int rank) {
 Time Fabric::reserve_transfer(int src, int dst, Time t_issue,
                               std::size_t bytes, Transport transport,
                               ChannelClass cls, std::uint64_t msg) {
+  obs::PhaseScope scope(profiler_, obs::Phase::kTransfer);
   const TransportTiming& tt = timing(transport);
   Channel& c = chan(src, dst, cls);
   // Fault-free runs take exactly one iteration with no injector draws: the

@@ -35,6 +35,7 @@
 #include "net/params.hpp"
 #include "net/types.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
 
@@ -115,6 +116,16 @@ class Fabric {
           .inc();
   }
 
+  /// Per-rank, backend-tagged consumer drain-cost hook
+  /// (net.<backend>_drain_ps, virtual picoseconds); called by the matching
+  /// engine where it charges consume_overhead().
+  void note_drain(int rank, BackendKind k, Time cost) {
+    if (!rank_metrics_.empty())
+      rank_metrics_[static_cast<std::size_t>(rank)]
+          .drain_ps[static_cast<std::size_t>(k)]
+          .inc(static_cast<std::uint64_t>(cost));
+  }
+
   /// Charges the channel-serialization and LogGP costs of a transfer of
   /// `bytes` from `src` to `dst` issued at virtual time `t_issue` and
   /// returns its delivery time — without scheduling anything. Callers that
@@ -163,6 +174,12 @@ class Fabric {
   obs::MsgTrace* msgtrace() const { return msgtrace_; }
   void set_msgtrace(obs::MsgTrace* mt) { msgtrace_ = mt; }
 
+  /// Optional host-time phase profiler (DESIGN.md §12): the fabric opens a
+  /// kTransfer scope around channel reservation, and the per-rank layers
+  /// reach it through here for their own scopes.
+  obs::Profiler* profiler() const { return profiler_; }
+  void set_profiler(obs::Profiler* p) { profiler_ = p; }
+
  private:
   struct Channel {
     Time next_free = 0;
@@ -181,6 +198,7 @@ class Fabric {
     obs::Counter ops[kNumTransports];    // net.<lane>_ops
     obs::Counter bytes[kNumTransports];  // net.<lane>_bytes
     obs::Counter notifs[kNumBackends];   // net.<backend>_notifs
+    obs::Counter drain_ps[kNumBackends];  // net.<backend>_drain_ps
     obs::Histogram queue_delay;  // net.chan_queue_ns (injection serialization)
   };
 
@@ -208,6 +226,7 @@ class Fabric {
   sim::Tracer* tracer_ = nullptr;
   obs::Registry* metrics_ = nullptr;
   obs::MsgTrace* msgtrace_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
   std::vector<RankNetMetrics> rank_metrics_;  // one per rank; empty if off
 };
 

@@ -35,19 +35,44 @@ void HistData::record_multi(std::uint64_t v, std::uint64_t n) {
 double HistData::quantile(double q) const {
   if (count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const double target = q * static_cast<double>(count);
+  // Rank-based: the sample at sorted position q*(count-1), linearly
+  // interpolated across the covering bucket's span. The span is clamped to
+  // the observed extrema where they apply (min lies in the lowest non-empty
+  // bucket, max in the highest), so a distribution confined to one bucket
+  // reports exact values instead of the bucket floor or midpoint.
+  const double pos = q * static_cast<double>(count - 1);
   double seen = 0;
   for (std::size_t i = 0; i < buckets.size(); ++i) {
     if (buckets[i] == 0) continue;
-    seen += static_cast<double>(buckets[i]);
-    if (seen >= target) {
-      if (i == 0) return 0.0;
-      const double lo = std::exp2(static_cast<double>(i) - 1.0);
-      const double hi = std::exp2(static_cast<double>(i)) - 1.0;
-      return std::sqrt(lo * std::max(hi, 1.0));  // geometric midpoint
+    const double cnt = static_cast<double>(buckets[i]);
+    if (pos < seen + cnt) {
+      double lo = i == 0 ? 0.0 : std::exp2(static_cast<double>(i) - 1.0);
+      double hi = i == 0 ? 0.0 : std::exp2(static_cast<double>(i)) - 1.0;
+      if (seen == 0) lo = std::max(lo, static_cast<double>(min));
+      if (seen + cnt >= static_cast<double>(count))
+        hi = std::min(hi, static_cast<double>(max));
+      if (hi < lo) hi = lo;
+      const double frac = cnt <= 1.0 ? 0.0 : (pos - seen) / (cnt - 1.0);
+      return lo + frac * (hi - lo);
     }
+    seen += cnt;
   }
   return static_cast<double>(max);
+}
+
+stats::Summary HistData::summary() const {
+  stats::Summary s;
+  s.n = count;
+  if (count == 0) return s;
+  s.mean = static_cast<double>(sum) / static_cast<double>(count);
+  s.min = static_cast<double>(min);
+  s.max = static_cast<double>(max);
+  s.p10 = quantile(0.10);
+  s.median = s.p50 = quantile(0.50);
+  s.p90 = quantile(0.90);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  return s;
 }
 
 // ----------------------------------------------------------------- Gauge --
@@ -133,6 +158,16 @@ std::vector<std::string> Registry::names() const {
   return out;
 }
 
+void Registry::visit(const std::function<void(const CellView&)>& fn) const {
+  for (const auto& [name, fam] : families_) {
+    for (int r = 0; r < nranks_; ++r) {
+      const detail::Cell& c = fam->cells[static_cast<std::size_t>(r)];
+      fn(CellView{fam->name, fam->kind, r, c.count, c.level, c.high_water,
+                  c.hist});
+    }
+  }
+}
+
 std::uint64_t Registry::counter_value(const std::string& name,
                                       int rank) const {
   const detail::Cell* c = cell_of(name, rank);
@@ -183,8 +218,13 @@ std::string Registry::to_json() const {
         case Kind::kHistogram: {
           const HistData& h = c.hist;
           os << ",\"count\":" << h.count << ",\"sum\":" << h.sum
-             << ",\"min\":" << h.min << ",\"max\":" << h.max
-             << ",\"buckets\":[";
+             << ",\"min\":" << h.min << ",\"max\":" << h.max;
+          // Interpolated percentiles (see HistData::quantile); exact for
+          // single-valued distributions, so dashboards need not re-derive
+          // them from the bucket vector.
+          os << ",\"p50\":" << h.quantile(0.50) << ",\"p90\":"
+             << h.quantile(0.90) << ",\"p99\":" << h.quantile(0.99);
+          os << ",\"buckets\":[";
           bool first_b = true;
           for (std::size_t i = 0; i < h.buckets.size(); ++i) {
             if (h.buckets[i] == 0) continue;

@@ -33,11 +33,13 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "common/time.hpp"
 
 namespace narma::sim {
@@ -61,8 +63,14 @@ struct HistData {
   /// Records `n` samples of value `v` in O(1) — used to merge pre-bucketed
   /// histograms (e.g. the engine's pop-depth counts) into the registry.
   void record_multi(std::uint64_t v, std::uint64_t n);
-  /// Quantile estimate from the buckets (geometric bucket midpoint).
+  /// Quantile estimate: the value at sorted position q*(count-1), linearly
+  /// interpolated within the covering bucket and clamped to the observed
+  /// [min, max] — so a one-bucket distribution of equal samples reports the
+  /// exact value at every q instead of collapsing to the bucket floor.
   double quantile(double q) const;
+  /// Percentile summary derived from the buckets via quantile(). stddev and
+  /// ci99 stay 0 — log2 buckets carry no sum of squares.
+  stats::Summary summary() const;
 };
 
 class Registry;
@@ -162,6 +170,21 @@ class Registry {
 
   bool has(const std::string& name) const;
   std::vector<std::string> names() const;
+
+  /// Read-only view of one (family, rank) cell, passed to visit().
+  struct CellView {
+    const std::string& name;
+    Kind kind;
+    int rank;
+    std::uint64_t count;          // counter
+    std::int64_t level;           // gauge
+    std::int64_t high_water;      // gauge
+    const HistData& hist;         // histogram
+  };
+
+  /// Iterates every cell in deterministic (name asc, rank asc) order — the
+  /// flight recorder's snapshot pass (src/obs/timeseries).
+  void visit(const std::function<void(const CellView&)>& fn) const;
   std::uint64_t counter_value(const std::string& name, int rank) const;
   std::int64_t gauge_value(const std::string& name, int rank) const;
   std::int64_t gauge_high_water(const std::string& name, int rank) const;

@@ -133,6 +133,7 @@ void MsgTrace::append(Lane& lane, const HopRecord& rec) {
 
 MsgId MsgTrace::begin(int rank, MsgOp op, int dst_rank, std::uint32_t bytes,
                       Time t) {
+  PhaseScope scope(profiler_, Phase::kObs);
   auto& lane = lanes_[static_cast<std::size_t>(rank)];
   if ((lane.injections++ % sample_every_) != 0) return 0;
   ++lane.sampled;
@@ -151,6 +152,7 @@ MsgId MsgTrace::begin(int rank, MsgOp op, int dst_rank, std::uint32_t bytes,
 }
 
 void MsgTrace::hop(MsgId id, int rank, HopKind kind, Time t) {
+  PhaseScope scope(profiler_, Phase::kObs);
   HopRecord rec;
   rec.id = id;
   rec.t = t;

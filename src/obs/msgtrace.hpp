@@ -56,6 +56,7 @@
 
 #include "common/time.hpp"
 #include "obs/params.hpp"
+#include "obs/profile.hpp"
 
 namespace narma::obs {
 
@@ -143,6 +144,10 @@ class MsgTrace {
   /// Appends a hop for a sampled message. Callers guard with `if (id)`.
   void hop(MsgId id, int rank, HopKind kind, Time t);
 
+  /// Optional host-time profiler: begin()/hop() charge their (tiny) record
+  /// cost to Phase::kObs so the recorder's self-overhead budget covers them.
+  void set_profiler(Profiler* p) { profiler_ = p; }
+
   /// Perfetto flow id for a sampled message: a high-bit namespace clear of
   /// the Tracer's small sequential auto-ids, yet exact in a double (< 2^53)
   /// so JSON round-trips losslessly.
@@ -211,6 +216,7 @@ class MsgTrace {
 
   std::vector<Lane> lanes_;
   std::uint64_t sample_every_;
+  Profiler* profiler_ = nullptr;
 };
 
 }  // namespace narma::obs

@@ -1,0 +1,40 @@
+#include "obs/profile.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace narma::obs {
+
+const char* to_string(Phase p) {
+  switch (p) {
+    case Phase::kEnginePop: return "engine_pop";
+    case Phase::kCallback: return "callback";
+    case Phase::kRankExec: return "rank_exec";
+    case Phase::kMatch: return "match";
+    case Phase::kTransfer: return "transfer";
+    case Phase::kAppCompute: return "app_compute";
+    case Phase::kObs: return "obs";
+    case Phase::kCount: return "unattributed";
+  }
+  return "?";
+}
+
+void Profiler::export_to(Registry& reg, Time at) const {
+  // Gauges, not counters: these are host-measured values and must never
+  // feed the deterministic telemetry paths (the flight recorder excludes
+  // the obs.phase_* / obs.profile_* families from its snapshots so the
+  // time-series JSON stays bit-identical across repeated runs).
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    const auto p = static_cast<Phase>(i);
+    const std::string base = std::string("obs.phase_") + to_string(p);
+    reg.gauge(base + "_ns", 0).set(static_cast<std::int64_t>(phase_ns(p)),
+                                   at);
+    reg.gauge(base + "_calls", 0)
+        .set(static_cast<std::int64_t>(stat(p).calls), at);
+  }
+  reg.gauge("obs.profile_unattributed_ns", 0)
+      .set(static_cast<std::int64_t>(unattributed_ns()), at);
+  reg.gauge("obs.profile_total_ns", 0)
+      .set(static_cast<std::int64_t>(total_wall_ns()), at);
+}
+
+}  // namespace narma::obs

@@ -1,0 +1,323 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/json.hpp"
+#include "sim/engine.hpp"
+
+namespace narma::obs {
+
+namespace {
+
+/// Families whose values depend on host wall time. Excluded from snapshots
+/// so the time-series JSON is bit-identical across repeated runs (the
+/// end-of-run metrics dump still carries them).
+bool is_host_time_family(const std::string& name) {
+  return name.rfind("obs.phase_", 0) == 0 ||
+         name.rfind("obs.profile_", 0) == 0 || name == "sim.run_wall_ns" ||
+         name == "sim.events_per_sec";
+}
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kCounter: return "counter";
+    case Kind::kGauge: return "gauge";
+    case Kind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+TimeSeries::TimeSeries(Registry& reg, sim::Engine& eng,
+                       const ObsParams& params)
+    : reg_(reg),
+      eng_(eng),
+      window_ps_(params.timeseries_window_ps ? params.timeseries_window_ps
+                                             : us(100)),
+      capacity_(params.timeseries_capacity),
+      straggler_threshold_(params.straggler_threshold) {
+  NARMA_CHECK(window_ps_ > 0);
+  NARMA_CHECK(capacity_ >= 4) << "flight recorder needs >= 4 windows";
+  rank_base_.resize(static_cast<std::size_t>(eng.nranks()));
+}
+
+std::uint32_t TimeSeries::family_index(const std::string& name, Kind kind) {
+  auto it = family_idx_.find(name);
+  if (it != family_idx_.end()) return it->second;
+  const auto idx = static_cast<std::uint32_t>(families_.size());
+  families_.push_back(FamilyInfo{name, kind});
+  family_idx_.emplace(name, idx);
+  base_.emplace_back(static_cast<std::size_t>(eng_.nranks()));
+  return idx;
+}
+
+void TimeSeries::snapshot(Time boundary) {
+  ++snapshots_;
+  Window w;
+  w.t_begin = last_boundary_;
+  w.t_end = boundary;
+  const int nranks = eng_.nranks();
+  w.ranks.resize(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    sim::RankCtx& ctx = eng_.rank(r);
+    const Time total = ctx.now();
+    const Time blocked = ctx.blocked_time();
+    auto& abs = rank_base_[static_cast<std::size_t>(r)];  // absolute totals
+    w.ranks[static_cast<std::size_t>(r)] = {total - abs.d_total,
+                                            blocked - abs.d_blocked};
+    abs = {total, blocked};
+  }
+  reg_.visit([&](const Registry::CellView& v) {
+    if (is_host_time_family(v.name)) return;
+    const std::uint32_t idx = family_index(v.name, v.kind);
+    CellBase& base = base_[idx][static_cast<std::size_t>(v.rank)];
+    const auto rank = static_cast<std::uint16_t>(v.rank);
+    switch (v.kind) {
+      case Kind::kCounter:
+        if (v.count != base.count) {
+          w.cells.push_back({idx, rank, v.count - base.count, 0});
+          base.count = v.count;
+        }
+        break;
+      case Kind::kGauge:
+        if (v.level != base.level || v.high_water != base.hw) {
+          w.cells.push_back({idx, rank,
+                             static_cast<std::uint64_t>(v.level),
+                             static_cast<std::uint64_t>(v.high_water)});
+          base.level = v.level;
+          base.hw = v.high_water;
+        }
+        break;
+      case Kind::kHistogram: {
+        const std::uint64_t dc = v.hist.count - base.hcount;
+        const std::uint64_t ds = v.hist.sum - base.hsum;
+        if (dc != 0 || ds != 0) {
+          w.cells.push_back({idx, rank, dc, ds});
+          base.hcount = v.hist.count;
+          base.hsum = v.hist.sum;
+        }
+        break;
+      }
+    }
+  });
+  windows_.push_back(std::move(w));
+  last_boundary_ = boundary;
+  if (windows_.size() >= capacity_) merge_down();
+}
+
+Time TimeSeries::on_boundary(Time boundary, Time /*horizon*/) {
+  if (finalized_) return std::numeric_limits<Time>::max();
+  snapshot(boundary);
+  return boundary + window_ps_;
+}
+
+void TimeSeries::finalize(Time t_end) {
+  if (finalized_) return;
+  snapshot(std::max(t_end, last_boundary_));
+  finalized_ = true;
+}
+
+TimeSeries::Window TimeSeries::merge(Window&& a, Window&& b) const {
+  Window m;
+  m.t_begin = a.t_begin;
+  m.t_end = b.t_end;
+  m.merged = a.merged + b.merged;
+  m.ranks.resize(a.ranks.size());
+  for (std::size_t r = 0; r < a.ranks.size(); ++r)
+    m.ranks[r] = {a.ranks[r].d_total + b.ranks[r].d_total,
+                  a.ranks[r].d_blocked + b.ranks[r].d_blocked};
+  // Combine by (family, rank): counters/histograms sum, gauges take the
+  // later window's value (last-wins, matching the snapshot semantics).
+  std::map<std::uint64_t, CellDelta> cells;
+  auto key = [](const CellDelta& c) {
+    return (static_cast<std::uint64_t>(c.family) << 16) | c.rank;
+  };
+  for (CellDelta& c : a.cells) cells.emplace(key(c), c);
+  for (CellDelta& c : b.cells) {
+    auto [it, fresh] = cells.emplace(key(c), c);
+    if (fresh) continue;
+    switch (families_[c.family].kind) {
+      case Kind::kCounter:
+      case Kind::kHistogram:
+        it->second.a += c.a;
+        it->second.b += c.b;
+        break;
+      case Kind::kGauge:
+        it->second = c;
+        break;
+    }
+  }
+  m.cells.reserve(cells.size());
+  for (auto& [k, c] : cells) m.cells.push_back(c);
+  return m;
+}
+
+void TimeSeries::merge_down() {
+  ++merges_;
+  const std::size_t half = windows_.size() / 2;
+  std::vector<Window> next;
+  next.reserve(windows_.size() - half / 2);
+  std::size_t i = 0;
+  for (; i + 1 < half; i += 2)
+    next.push_back(merge(std::move(windows_[i]), std::move(windows_[i + 1])));
+  for (; i < windows_.size(); ++i) next.push_back(std::move(windows_[i]));
+  windows_ = std::move(next);
+}
+
+void TimeSeries::set_residuals(std::vector<ResidualRow> rows) {
+  residuals_ = std::move(rows);
+}
+
+std::vector<TimeSeries::Anomaly> TimeSeries::anomalies() const {
+  std::vector<Anomaly> out;
+  for (std::size_t wi = 0; wi < windows_.size(); ++wi) {
+    const Window& w = windows_[wi];
+    // Busy fraction per rank over the window; ranks that saw no virtual
+    // time (already finished) are left out of the median.
+    std::vector<double> fracs;
+    fracs.reserve(w.ranks.size());
+    for (const RankDelta& r : w.ranks)
+      if (r.d_total > 0)
+        fracs.push_back(
+            static_cast<double>(r.d_total - r.d_blocked) /
+            static_cast<double>(r.d_total));
+    if (fracs.size() < 2) continue;
+    std::vector<double> sorted = fracs;
+    std::sort(sorted.begin(), sorted.end());
+    const double median = sorted[sorted.size() / 2];
+    std::size_t fi = 0;
+    for (std::size_t r = 0; r < w.ranks.size(); ++r) {
+      if (w.ranks[r].d_total <= 0) continue;
+      const double f = fracs[fi++];
+      if (f < median - straggler_threshold_) {
+        Anomaly a;
+        a.window = static_cast<std::uint32_t>(wi);
+        a.kind = "straggler";
+        a.rank = static_cast<int>(r);
+        a.value = f;
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "busy %.2f vs window median %.2f", f, median);
+        a.detail = buf;
+        out.push_back(std::move(a));
+      }
+    }
+  }
+  for (const ResidualRow& r : residuals_) {
+    if (!r.flagged) continue;
+    Anomaly a;
+    a.window = r.window;
+    a.kind = "channel_residual";
+    a.rank = -1;
+    a.value = r.mean_residual_ps;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "%s: mean residual %.0f ps over model %.0f ps (%llu msgs)",
+                  r.backend.c_str(), r.mean_residual_ps, r.mean_model_ps,
+                  static_cast<unsigned long long>(r.msgs));
+    a.detail = buf;
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+std::string TimeSeries::to_json() const {
+  json::Writer w;
+  w.begin_object();
+  w.kv("schema", "narma.timeseries.v1");
+  w.kv("nranks", eng_.nranks());
+  w.kv("window_ps", static_cast<std::uint64_t>(window_ps_));
+  w.kv("capacity", static_cast<std::uint64_t>(capacity_));
+  w.kv("snapshots", snapshots_);
+  w.kv("merges", merges_);
+  w.key("families").begin_array();
+  for (const FamilyInfo& f : families_) {
+    w.begin_object();
+    w.kv("name", f.name);
+    w.kv("kind", kind_name(f.kind));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("windows").begin_array();
+  for (const Window& win : windows_) {
+    w.begin_object();
+    w.kv("t_begin_ps", static_cast<std::uint64_t>(win.t_begin));
+    w.kv("t_end_ps", static_cast<std::uint64_t>(win.t_end));
+    w.kv("merged", static_cast<std::uint64_t>(win.merged));
+    w.key("ranks").begin_array();
+    for (std::size_t r = 0; r < win.ranks.size(); ++r) {
+      const RankDelta& d = win.ranks[r];
+      w.begin_object();
+      w.kv("rank", static_cast<int>(r));
+      w.kv("total_ps", static_cast<std::uint64_t>(d.d_total));
+      w.kv("blocked_ps", static_cast<std::uint64_t>(d.d_blocked));
+      w.kv("busy_ps", static_cast<std::uint64_t>(d.d_total - d.d_blocked));
+      w.end_object();
+    }
+    w.end_array();
+    w.key("cells").begin_array();
+    for (const CellDelta& c : win.cells) {
+      w.begin_object();
+      w.kv("family", static_cast<std::uint64_t>(c.family));
+      w.kv("rank", static_cast<int>(c.rank));
+      switch (families_[c.family].kind) {
+        case Kind::kCounter:
+          w.kv("delta", c.a);
+          break;
+        case Kind::kGauge:
+          w.kv("value", static_cast<std::int64_t>(c.a));
+          w.kv("high_water", static_cast<std::int64_t>(c.b));
+          break;
+        case Kind::kHistogram:
+          w.kv("delta_count", c.a);
+          w.kv("delta_sum", c.b);
+          break;
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("residuals").begin_array();
+  for (const ResidualRow& r : residuals_) {
+    w.begin_object();
+    w.kv("window", static_cast<std::uint64_t>(r.window));
+    w.kv("backend", r.backend);
+    w.kv("msgs", r.msgs);
+    w.kv("mean_model_ps", r.mean_model_ps);
+    w.kv("mean_residual_ps", r.mean_residual_ps);
+    w.kv("max_abs_residual_ps", r.max_abs_residual_ps);
+    w.kv("flagged", r.flagged);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("anomalies").begin_array();
+  for (const Anomaly& a : anomalies()) {
+    w.begin_object();
+    w.kv("window", static_cast<std::uint64_t>(a.window));
+    w.kv("kind", a.kind);
+    w.kv("rank", a.rank);
+    w.kv("value", a.value);
+    w.kv("detail", a.detail);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool TimeSeries::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string doc = to_json();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace narma::obs

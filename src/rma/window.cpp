@@ -137,6 +137,10 @@ Window::~Window() {
 
 void Window::put(const void* src, std::size_t bytes, int target,
                  std::uint64_t target_disp) {
+  // Host-time attribution: origin-side RMA plumbing (descriptor setup, NIC
+  // handoff) counts as transfer work, like the other injection sites below.
+  obs::PhaseScope prof_scope(nic().fabric().profiler(),
+                             obs::Phase::kTransfer);
   const obs::MsgId mid = trace_begin(nic(), obs::MsgOp::kPut, target, bytes);
   router_.nic().ctx().advance(mgr_.params().o_put);
   trace_issue(nic(), mid);
@@ -151,6 +155,8 @@ void Window::put_strided(const void* src, std::size_t block_bytes,
                          std::size_t nblocks, std::size_t src_stride_bytes,
                          int target, std::uint64_t target_disp,
                          std::uint64_t target_stride) {
+  obs::PhaseScope prof_scope(nic().fabric().profiler(),
+                             obs::Phase::kTransfer);
   const obs::MsgId mid = trace_begin(nic(), obs::MsgOp::kPutStrided, target,
                                      block_bytes * nblocks);
   router_.nic().ctx().advance(mgr_.params().o_put);
@@ -170,6 +176,8 @@ void Window::put_strided(const void* src, std::size_t block_bytes,
 
 void Window::get(void* dst, std::size_t bytes, int target,
                  std::uint64_t target_disp) {
+  obs::PhaseScope prof_scope(nic().fabric().profiler(),
+                             obs::Phase::kTransfer);
   const obs::MsgId mid = trace_begin(nic(), obs::MsgOp::kGet, target, bytes);
   router_.nic().ctx().advance(mgr_.params().o_put);
   trace_issue(nic(), mid);
@@ -182,6 +190,8 @@ void Window::get(void* dst, std::size_t bytes, int target,
 
 void Window::fetch_add_i64(int target, std::uint64_t target_disp,
                            std::int64_t v, std::int64_t* result) {
+  obs::PhaseScope prof_scope(nic().fabric().profiler(),
+                             obs::Phase::kTransfer);
   const obs::MsgId mid =
       trace_begin(nic(), obs::MsgOp::kAtomic, target, sizeof(std::int64_t));
   router_.nic().ctx().advance(mgr_.params().o_atomic);
@@ -196,6 +206,8 @@ void Window::fetch_add_i64(int target, std::uint64_t target_disp,
 
 void Window::fetch_add_f64(int target, std::uint64_t target_disp, double v,
                            double* result) {
+  obs::PhaseScope prof_scope(nic().fabric().profiler(),
+                             obs::Phase::kTransfer);
   const obs::MsgId mid =
       trace_begin(nic(), obs::MsgOp::kAtomic, target, sizeof(double));
   router_.nic().ctx().advance(mgr_.params().o_atomic);
@@ -213,6 +225,8 @@ void Window::fetch_add_f64(int target, std::uint64_t target_disp, double v,
 void Window::compare_swap_i64(int target, std::uint64_t target_disp,
                               std::int64_t compare, std::int64_t desired,
                               std::int64_t* result) {
+  obs::PhaseScope prof_scope(nic().fabric().profiler(),
+                             obs::Phase::kTransfer);
   const obs::MsgId mid =
       trace_begin(nic(), obs::MsgOp::kAtomic, target, sizeof(std::int64_t));
   router_.nic().ctx().advance(mgr_.params().o_atomic);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/profile.hpp"
+
 namespace narma::sim {
 
 // ---------------------------------------------------------------- Trigger --
@@ -99,6 +101,10 @@ void Engine::yield_to_engine(int rank_id) {
 }
 
 void Engine::resume_rank(detail::RankSlot& s) {
+  // The scope spans the semaphore handoff: rank-thread user code runs while
+  // the engine thread sleeps in acquire(), so its ticks land in kRankExec
+  // (unless the rank opens a narrower scope — match, transfer, compute).
+  obs::PhaseScope scope(profiler_, obs::Phase::kRankExec);
   s.ctx->advance_to(s.resume_time);
   s.state = detail::RankState::kRunning;
   s.resume.release();
@@ -134,16 +140,19 @@ void Engine::wake(int rank_id, Time t) {
 }
 
 void Engine::run_one_event() {
+  obs::PhaseScope pop_scope(profiler_, obs::Phase::kEnginePop);
   ++events_executed_;
   pop_depth_hist_.record(queue_size());
   if (use_calendar_) {
     // True move-out pop: the closure is never copied.
     CalEvent ev = calendar_.pop();
+    obs::PhaseScope cb_scope(profiler_, obs::Phase::kCallback);
     ev.fn();
   } else {
     // Legacy path: copies the closure out of the heap top (see
     // LegacyHeapQueue::pop_copy), preserved behind SimParams::event_queue.
     std::function<void()> fn = legacy_.pop_copy();
+    obs::PhaseScope cb_scope(profiler_, obs::Phase::kCallback);
     fn();
   }
 }
@@ -176,6 +185,19 @@ void Engine::run(const std::function<void(RankCtx&)>& rank_main) {
   int unfinished = nranks();
   while (unfinished > 0) {
     const bool have_rank = !ready_.empty();
+    // Flight-recorder boundary: fire the probe for every boundary at or
+    // before the next dispatch time — the snapshot then reflects exactly
+    // the updates that happened before the boundary (events and ranks are
+    // dispatched in deterministic (time, seq) order, so this point is
+    // reproducible run to run). One compare when disarmed.
+    if (probe_due_ != kNever) {
+      const Time ev_t = queue_empty() ? kNever : queue_top_time();
+      const Time rk_t = have_rank ? ready_.front().first : kNever;
+      const Time t_next = std::min(ev_t, rk_t);
+      while (probe_due_ != kNever && t_next != kNever &&
+             probe_due_ <= t_next)
+        probe_due_ = probe_(probe_due_, t_next);
+    }
     if (!queue_empty() &&
         (!have_rank || queue_top_time() <= ready_.front().first)) {
       // Hardware events run before any rank that would resume at the same

@@ -46,6 +46,10 @@
 #include "sim/event_queue.hpp"
 #include "sim/params.hpp"
 
+namespace narma::obs {
+class Profiler;
+}
+
 namespace narma::sim {
 
 class Engine;
@@ -225,6 +229,29 @@ class Engine {
   /// Occupancy of the oversized-closure slab pool.
   const EventPool::Stats& pool_stats() const { return pool_.stats(); }
 
+  // --- Flight-recorder hooks (src/obs; see DESIGN.md §12) -------------------
+
+  /// Called from the scheduler loop between dispatches whenever the next
+  /// dispatch time reaches `boundary`: everything before the boundary has
+  /// executed, nothing at/after it has. Returns the next due boundary
+  /// (kNever disables). The probe must only *read* simulation state — it
+  /// runs on the engine thread and never perturbs event order or clocks.
+  using TimeProbe = std::function<Time(Time boundary, Time horizon)>;
+
+  /// Arms the probe; `first_due` is the first boundary. Disabled probes
+  /// cost one compare per scheduler iteration.
+  void set_time_probe(Time first_due, TimeProbe probe) {
+    probe_ = std::move(probe);
+    probe_due_ = probe_ ? first_due : kNever;
+  }
+
+  /// Attaches the host-time phase profiler (nullptr detaches). The engine
+  /// opens kEnginePop/kCallback scopes around event execution and a
+  /// kRankExec scope around each rank resume; a null or stopped profiler
+  /// makes each site a single branch.
+  void set_profiler(obs::Profiler* p) { profiler_ = p; }
+  obs::Profiler* profiler() const { return profiler_; }
+
  private:
   friend class RankCtx;
   friend class Trigger;
@@ -280,6 +307,9 @@ class Engine {
   std::uint64_t run_wall_ns_ = 0;
   std::size_t queue_high_water_ = 0;
   Log2Hist pop_depth_hist_;
+  TimeProbe probe_;
+  Time probe_due_ = kNever;
+  obs::Profiler* profiler_ = nullptr;
   bool running_ = false;
 };
 

@@ -126,6 +126,48 @@ TEST(ObsRegistry, JsonIsParseableAndSchemaStable) {
   EXPECT_EQ(bucket.number_or("count", -1), 1.0);
 }
 
+TEST(ObsRegistry, HistogramQuantileInterpolates) {
+  obs::HistData empty;
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+
+  // A degenerate distribution (every sample equal) must report the exact
+  // value at every q, not the covering bucket's floor.
+  obs::HistData one;
+  for (int i = 0; i < 100; ++i) one.record(6);
+  EXPECT_EQ(one.quantile(0.0), 6.0);
+  EXPECT_EQ(one.quantile(0.5), 6.0);
+  EXPECT_EQ(one.quantile(0.99), 6.0);
+  EXPECT_EQ(one.quantile(1.0), 6.0);
+
+  // Quantiles are monotone in q and clamped to the observed range.
+  obs::HistData h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  double prev = h.quantile(0.0);
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double cur = h.quantile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+  EXPECT_GE(h.quantile(0.0), 1.0);
+  EXPECT_LE(h.quantile(1.0), 1000.0);
+  // The median of 1..1000 lands near 500 (log2 buckets are coarse, so only
+  // the covering bucket [256,511] is guaranteed).
+  EXPECT_GE(h.quantile(0.5), 256.0);
+  EXPECT_LE(h.quantile(0.5), 512.0);
+}
+
+TEST(ObsRegistry, JsonCarriesHistogramPercentiles) {
+  obs::Registry reg(1);
+  obs::Histogram h = reg.histogram("c.lat", 0);
+  for (int i = 0; i < 32; ++i) h.record(100);
+  const json::ParseResult doc = json::parse(reg.to_json());
+  ASSERT_TRUE(doc.ok) << doc.error;
+  const json::Value& cell = doc.value["metrics"][0]["per_rank"][0];
+  EXPECT_EQ(cell.number_or("p50", -1), 100.0);
+  EXPECT_EQ(cell.number_or("p90", -1), 100.0);
+  EXPECT_EQ(cell.number_or("p99", -1), 100.0);
+}
+
 TEST(ObsRegistry, GaugeChangesMirrorToTracerCounterTrack) {
   sim::Tracer tracer(2);
   obs::Registry reg(2);

@@ -1,0 +1,303 @@
+// Tests of the flight recorder (src/obs/timeseries, DESIGN.md §12) and the
+// host-time phase profiler (src/obs/profile): the telescoping invariant
+// (window deltas sum exactly to the end-of-run metrics totals, including
+// through downsampling merges), bit-identical exports across repeated runs
+// and with profiling on or off, the fully disabled path, straggler and
+// residual monitors, and the profiler's accounting identities.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/world.hpp"
+#include "obs/profile.hpp"
+#include "obs/timeseries.hpp"
+
+using namespace narma;
+
+namespace {
+
+/// Deterministic 4-rank workload: a ring of notified puts with calibrated
+/// compute, long enough to span several 100 us recorder windows.
+void run_ring(World& world, int iters = 12, Time compute_ps = us(30)) {
+  world.run([iters, compute_ps](Rank& self) {
+    const int next = (self.id() + 1) % self.size();
+    const int prev = (self.id() + self.size() - 1) % self.size();
+    auto win = self.win_allocate(64, 1);
+    auto req = self.na().notify_init(*win, na::MatchSpec{prev, 7}, 1);
+    double v = self.id();
+    for (int i = 0; i < iters; ++i) {
+      self.compute(compute_ps);
+      self.na().put_notify(*win, na::as_bytes(&v, 8), next, 0, 7);
+      win->flush(next);
+      self.na().start(req);
+      self.na().wait(req);
+    }
+    self.barrier();
+  });
+}
+
+/// Sums every counter / histogram window delta per (family name, rank).
+struct Telescoped {
+  std::map<std::pair<std::string, int>, std::uint64_t> counter;
+  std::map<std::pair<std::string, int>, std::pair<std::uint64_t,
+                                                  std::uint64_t>> hist;
+};
+
+Telescoped telescope(const obs::TimeSeries& ts) {
+  Telescoped out;
+  const auto& fams = ts.families();
+  for (const auto& w : ts.windows()) {
+    for (const auto& c : w.cells) {
+      const auto& f = fams[c.family];
+      const auto key = std::make_pair(f.name, static_cast<int>(c.rank));
+      if (f.kind == obs::Kind::kCounter) {
+        out.counter[key] += c.a;
+      } else if (f.kind == obs::Kind::kHistogram) {
+        out.hist[key].first += c.a;
+        out.hist[key].second += c.b;
+      }
+    }
+  }
+  return out;
+}
+
+bool is_host_time(const std::string& name) {
+  return name.rfind("obs.phase_", 0) == 0 ||
+         name.rfind("obs.profile_", 0) == 0 || name == "sim.run_wall_ns" ||
+         name == "sim.events_per_sec";
+}
+
+/// Asserts the telescoping invariant against the registry's final totals.
+void expect_telescopes(World& world) {
+  ASSERT_NE(world.timeseries(), nullptr);
+  ASSERT_NE(world.metrics(), nullptr);
+  const Telescoped acc = telescope(*world.timeseries());
+  std::size_t checked = 0;
+  world.metrics()->visit([&](const obs::Registry::CellView& cell) {
+    if (is_host_time(cell.name)) return;
+    const auto key = std::make_pair(cell.name, cell.rank);
+    if (cell.kind == obs::Kind::kCounter) {
+      const auto it = acc.counter.find(key);
+      const std::uint64_t got = it == acc.counter.end() ? 0 : it->second;
+      EXPECT_EQ(got, cell.count) << cell.name << " rank " << cell.rank;
+      ++checked;
+    } else if (cell.kind == obs::Kind::kHistogram) {
+      const auto it = acc.hist.find(key);
+      const std::uint64_t got_n = it == acc.hist.end() ? 0 : it->second.first;
+      const std::uint64_t got_s = it == acc.hist.end() ? 0 : it->second.second;
+      EXPECT_EQ(got_n, cell.hist.count) << cell.name << " rank " << cell.rank;
+      EXPECT_EQ(got_s, cell.hist.sum) << cell.name << " rank " << cell.rank;
+      ++checked;
+    }
+  });
+  EXPECT_GT(checked, 20u);  // the stack registered and telescoped real data
+}
+
+}  // namespace
+
+TEST(TimeSeries, DisabledByDefault) {
+  World world(2);
+  EXPECT_EQ(world.timeseries(), nullptr);
+  run_ring(world, 2);
+  EXPECT_EQ(world.timeseries(), nullptr);
+  EXPECT_FALSE(world.dump_timeseries("/nonexistent/ts.json"));
+}
+
+TEST(TimeSeries, WindowDeltasTelescopeToFinalTotals) {
+  World world(4);
+  world.enable_timeseries(us(50));
+  run_ring(world);
+  const obs::TimeSeries& ts = *world.timeseries();
+  EXPECT_GT(ts.snapshots(), 2u);
+  EXPECT_GE(ts.windows().size(), 2u);
+  expect_telescopes(world);
+
+  // Windows are contiguous from t=0 to the final finalize() boundary, and
+  // rank deltas telescope to the engine's end-of-run clocks.
+  Time prev_end = 0;
+  for (const auto& w : ts.windows()) {
+    EXPECT_EQ(w.t_begin, prev_end);
+    EXPECT_GT(w.t_end, w.t_begin);
+    prev_end = w.t_end;
+  }
+  for (int r = 0; r < 4; ++r) {
+    Time total = 0, blocked = 0;
+    for (const auto& w : ts.windows()) {
+      total += w.ranks[static_cast<std::size_t>(r)].d_total;
+      blocked += w.ranks[static_cast<std::size_t>(r)].d_blocked;
+    }
+    EXPECT_EQ(total, world.engine().rank(r).now()) << "rank " << r;
+    EXPECT_EQ(blocked, world.engine().rank(r).blocked_time()) << "rank " << r;
+  }
+}
+
+TEST(TimeSeries, DownsamplingKeepsMemoryBoundedAndTelescoping) {
+  WorldParams wp;
+  wp.obs.timeseries = true;
+  wp.obs.timeseries_window_ps = us(2);  // many snapshots
+  wp.obs.timeseries_capacity = 8;      // tiny ring forces merges
+  World world(4, wp);
+  run_ring(world, 16);
+  const obs::TimeSeries& ts = *world.timeseries();
+  EXPECT_GT(ts.merges(), 0u) << "run too short to exercise downsampling";
+  EXPECT_LE(ts.windows().size(), 8u);
+  EXPECT_GT(ts.snapshots(), 8u);
+  // Merged windows carry their fold count; the sum of fold counts equals
+  // the number of raw snapshots.
+  std::uint64_t folded = 0;
+  for (const auto& w : ts.windows()) folded += w.merged;
+  EXPECT_EQ(folded, ts.snapshots());
+  expect_telescopes(world);
+}
+
+TEST(TimeSeries, ExportBitIdenticalAcrossRunsAndWithProfilerOnOrOff) {
+  auto run_once = [](bool profile) {
+    World world(4);
+    if (profile) world.enable_profiling();
+    world.enable_timeseries(us(50));
+    run_ring(world);
+    std::vector<Time> clocks;
+    for (int r = 0; r < 4; ++r)
+      clocks.push_back(world.engine().rank(r).now());
+    return std::make_pair(world.timeseries()->to_json(), clocks);
+  };
+  const auto [json1, clocks1] = run_once(false);
+  const auto [json2, clocks2] = run_once(false);
+  const auto [json3, clocks3] = run_once(true);
+  EXPECT_EQ(json1, json2) << "recorder export differs across identical runs";
+  EXPECT_EQ(json1, json3) << "host profiling perturbed the recorder export";
+  EXPECT_EQ(clocks1, clocks2);
+  EXPECT_EQ(clocks1, clocks3) << "host profiling perturbed virtual time";
+}
+
+TEST(TimeSeries, RecorderDoesNotPerturbVirtualMetrics) {
+  auto final_counters = [](bool recorder) {
+    World world(4);
+    if (recorder) world.enable_timeseries(us(50));
+    run_ring(world);
+    std::map<std::pair<std::string, int>, std::uint64_t> out;
+    world.metrics()->visit([&](const obs::Registry::CellView& cell) {
+      if (cell.kind == obs::Kind::kCounter && !is_host_time(cell.name))
+        out[{cell.name, cell.rank}] = cell.count;
+    });
+    return out;
+  };
+  EXPECT_EQ(final_counters(false), final_counters(true));
+}
+
+TEST(TimeSeries, HostTimeFamiliesExcludedFromSnapshots) {
+  World world(2);
+  world.enable_profiling();
+  world.enable_timeseries(us(50));
+  run_ring(world, 6);
+  for (const auto& f : world.timeseries()->families())
+    EXPECT_FALSE(is_host_time(f.name)) << f.name;
+}
+
+TEST(TimeSeries, StragglerFlagged) {
+  WorldParams wp;
+  World world(4, wp);
+  world.enable_timeseries(us(100));
+  // Ranks 0-2 stay busy all window; rank 3 computes a sliver and blocks in
+  // the barrier — a straggler in every full window.
+  world.run([](Rank& self) {
+    for (int i = 0; i < 4; ++i) {
+      self.compute(self.id() == 3 ? us(5) : us(95));
+      self.barrier();
+    }
+  });
+  bool straggler3 = false;
+  for (const auto& a : world.timeseries()->anomalies())
+    if (a.kind == "straggler" && a.rank == 3) straggler3 = true;
+  EXPECT_TRUE(straggler3);
+}
+
+TEST(TimeSeries, ResidualRowsFromMsgTrace) {
+  World world(4);  // default fabric: one rank per node -> aries inter-node
+  world.enable_msgtrace(1);
+  world.enable_timeseries(us(50));
+  run_ring(world);
+  const auto& rows = world.timeseries()->residuals();
+  ASSERT_FALSE(rows.empty());
+  std::uint64_t msgs = 0;
+  for (const auto& r : rows) {
+    EXPECT_EQ(r.backend, "aries");
+    EXPECT_GT(r.mean_model_ps, 0.0);
+    EXPECT_LT(r.window, world.timeseries()->windows().size());
+    msgs += r.msgs;
+  }
+  EXPECT_GT(msgs, 0u);
+  // The residual rows surface in the JSON export.
+  const std::string doc = world.timeseries()->to_json();
+  EXPECT_NE(doc.find("\"residuals\""), std::string::npos);
+  EXPECT_NE(doc.find("\"aries\""), std::string::npos);
+}
+
+// --- Profiler ----------------------------------------------------------------
+
+TEST(Profiler, ScopesAttributePhases) {
+  obs::Profiler prof;
+  prof.start();
+  {
+    obs::PhaseScope match(&prof, obs::Phase::kMatch);
+    volatile std::uint64_t sink = 0;
+    for (int i = 0; i < 50000; ++i) sink = sink + static_cast<std::uint64_t>(i);
+    {
+      obs::PhaseScope obs_scope(&prof, obs::Phase::kObs);
+      for (int i = 0; i < 5000; ++i) sink = sink + static_cast<std::uint64_t>(i);
+    }
+  }
+  prof.stop();
+  EXPECT_GT(prof.total_ticks(), 0u);
+  EXPECT_GT(prof.stat(obs::Phase::kMatch).ticks, 0u);
+  EXPECT_EQ(prof.stat(obs::Phase::kMatch).calls, 1u);
+  EXPECT_EQ(prof.stat(obs::Phase::kObs).calls, 1u);
+  // Attributed + unattributed ticks partition the run exactly.
+  std::uint64_t attributed = 0;
+  for (std::size_t p = 0; p < obs::kNumPhases; ++p)
+    attributed += prof.stat(static_cast<obs::Phase>(p)).ticks;
+  EXPECT_EQ(attributed + prof.unattributed_ticks(), prof.total_ticks());
+  // Fractions sum to 1 over phases + unattributed.
+  double frac = static_cast<double>(prof.unattributed_ticks()) /
+                static_cast<double>(prof.total_ticks());
+  for (std::size_t p = 0; p < obs::kNumPhases; ++p)
+    frac += prof.fraction(static_cast<obs::Phase>(p));
+  EXPECT_NEAR(frac, 1.0, 1e-9);
+}
+
+TEST(Profiler, ScopeIsNoOpWhenNullOrStopped) {
+  {
+    obs::PhaseScope s(nullptr, obs::Phase::kMatch);  // must not crash
+  }
+  obs::Profiler prof;  // never started
+  {
+    obs::PhaseScope s(&prof, obs::Phase::kMatch);
+  }
+  EXPECT_EQ(prof.stat(obs::Phase::kMatch).ticks, 0u);
+  EXPECT_EQ(prof.stat(obs::Phase::kMatch).calls, 0u);
+}
+
+TEST(Profiler, ExportedGaugesCoverRunAndRespectObsBudget) {
+  World world(4);
+  world.enable_profiling();
+  world.enable_timeseries(us(50));
+  run_ring(world);
+  obs::Registry& reg = *world.metrics();
+  const auto total =
+      static_cast<double>(reg.gauge_value("obs.profile_total_ns", 0));
+  ASSERT_GT(total, 0.0);
+  double attributed = 0;
+  for (const char* ph : {"engine_pop", "callback", "rank_exec", "match",
+                         "transfer", "app_compute", "obs"})
+    attributed += static_cast<double>(
+        reg.gauge_value(std::string("obs.phase_") + ph + "_ns", 0));
+  const auto unattr = static_cast<double>(
+      reg.gauge_value("obs.profile_unattributed_ns", 0));
+  // The exported gauges partition the measured host run.
+  EXPECT_NEAR(attributed + unattr, total, total * 0.01);
+  EXPECT_LT(unattr / total, 0.10);
+}

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Application-benchmark regression gate for CI.
+
+Compares fresh fig1_stencil_strong / fig5_cholesky NARMA_JSON exports
+against the committed baseline (bench/BENCH_apps.json):
+
+  * every baseline row (matched by artifact + the "ranks" column) must keep
+    its host wall_ms <= baseline * (1 + tolerance). Wall-clock is noisy on
+    shared runners, so the default tolerance is deliberately generous (60%)
+    and rows whose baseline wall_ms is below --min-wall-ms are printed for
+    information only;
+  * every current row must report verified / residual ok = "yes" — a
+    correctness failure in the apps is a hard gate regardless of timing.
+
+Multiple current files may be given; tables are matched across all of them
+by their "artifact" name.
+
+Exit status 0 on pass, 1 on any violation, 2 on malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+GATED_ARTIFACTS = ("Figure 1", "Figure 5")
+
+
+def load_tables(paths):
+    """Returns {artifact: (headers, rows)} across all narma.bench.v1 docs."""
+    tables = {}
+    for path in paths:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+        if doc.get("schema") != "narma.bench.v1":
+            raise ValueError(f"{path}: unexpected schema {doc.get('schema')!r}")
+        for table in doc.get("tables", []):
+            art = table.get("artifact")
+            if art in GATED_ARTIFACTS:
+                tables[art] = (table["headers"], table["rows"])
+    return tables
+
+
+def column(headers, *names):
+    for name in names:
+        if name in headers:
+            return headers.index(name)
+    raise ValueError(f"no column {names} in {headers}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="committed bench/BENCH_apps.json")
+    ap.add_argument("current", nargs="+",
+                    help="NARMA_JSON exports from this run")
+    ap.add_argument("--tolerance", type=float, default=0.60,
+                    help="allowed fractional wall-clock growth per row")
+    ap.add_argument("--min-wall-ms", type=float, default=5.0,
+                    help="baseline rows faster than this are informational")
+    args = ap.parse_args()
+
+    try:
+        base = load_tables([args.baseline])
+        cur = load_tables(args.current)
+    except (OSError, ValueError, KeyError, IndexError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    ok = True
+    for art in GATED_ARTIFACTS:
+        if art not in base:
+            print(f"error: baseline lacks table {art!r}", file=sys.stderr)
+            ok = False
+            continue
+        if art not in cur:
+            print(f"error: current run lacks table {art!r}", file=sys.stderr)
+            ok = False
+            continue
+        bh, brows = base[art]
+        ch, crows = cur[art]
+        try:
+            b_ranks, b_wall = column(bh, "ranks"), column(bh, "wall_ms")
+            c_ranks, c_wall = column(ch, "ranks"), column(ch, "wall_ms")
+            c_ok = column(ch, "verified", "residual ok")
+        except ValueError as e:
+            print(f"error: {art}: {e}", file=sys.stderr)
+            ok = False
+            continue
+        cur_by_ranks = {row[c_ranks]: row for row in crows}
+        for brow in brows:
+            ranks = brow[b_ranks]
+            crow = cur_by_ranks.get(ranks)
+            if crow is None:
+                print(f"error: {art}: current run has no row for "
+                      f"ranks={ranks}", file=sys.stderr)
+                ok = False
+                continue
+            base_ms = float(brow[b_wall])
+            cur_ms = float(crow[c_wall])
+            ceiling = base_ms * (1.0 + args.tolerance)
+            gated = base_ms >= args.min_wall_ms
+            verdict = ("ok" if cur_ms <= ceiling else
+                       "REGRESSION" if gated else
+                       "above ceiling (info only)")
+            print(f"{art}  ranks {ranks:>3s}  baseline {base_ms:8.1f} ms  "
+                  f"current {cur_ms:8.1f} ms  ceiling {ceiling:8.1f}  "
+                  f"{verdict}")
+            if gated and cur_ms > ceiling:
+                ok = False
+            if crow[c_ok] != "yes":
+                print(f"{art}  ranks {ranks:>3s}  VERIFICATION FAILED "
+                      f"({crow[c_ok]})")
+                ok = False
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

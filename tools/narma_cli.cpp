@@ -72,10 +72,16 @@ int usage() {
       "  tree      --variant=na|mp|pscw|vendor --ranks=N --arity=K\n"
       "            --elems=E --reps=R\n"
       "  cholesky  --variant=na|mp|os --ranks=N --nt=T --b=B [--gflops=G]\n"
-      "  report    --trace=FILE [--metrics=FILE] [--top=N]\n"
+      "  report    [--trace=FILE] [--metrics=FILE] [--top=N]\n"
       "            summarize a recorded run: per-category virtual time\n"
       "            (with p50/p95 span durations), longest spans, per-rank\n"
-      "            busy fractions\n"
+      "            busy fractions, host-time phase attribution\n"
+      "            (obs.phase_* gauges from --profile runs), per-backend\n"
+      "            notification + drain-cost rows, histogram percentiles\n"
+      "  timeline  --timeseries=FILE [--perfetto=FILE] [--top=N]\n"
+      "            analyze a flight-recorder dump: per-window rank activity,\n"
+      "            busiest counter families, model-residual rows, flagged\n"
+      "            anomalies; --perfetto writes counter tracks for Perfetto\n"
       "  critpath  --msgtrace=FILE [--top=N]\n"
       "            analyze a causal message trace: critical-path category\n"
       "            breakdown, per-rank share, slowest messages, per-\n"
@@ -86,7 +92,12 @@ int usage() {
       "            [--trace=FILE]     write a Chrome trace of the run\n"
       "            [--metrics=FILE]   write the metrics registry dump\n"
       "            [--msgtrace=FILE]  write the causal message trace\n"
-      "            [--msgtrace-sample=N]  trace every Nth message (default 1)\n",
+      "            [--msgtrace-sample=N]  trace every Nth message (default 1)\n"
+      "            [--timeseries=FILE]  record + write the flight-recorder\n"
+      "                               time-series dump (narma.timeseries.v1)\n"
+      "            [--timeseries-window-us=N]  snapshot cadence (default 100)\n"
+      "            [--profile]        host-time phase profiling; results land\n"
+      "                               in the metrics dump as obs.phase_*\n",
       stderr);
   return 2;
 }
@@ -112,6 +123,12 @@ void enable_observability(World& world, const Args& a) {
   if (a.kv.count("msgtrace"))
     world.enable_msgtrace(
         static_cast<std::uint64_t>(a.get("msgtrace-sample", 0)));
+  // Profiler before recorder: the recorder's probe charges itself to the
+  // obs phase only when the profiler already exists.
+  if (a.kv.count("profile")) world.enable_profiling();
+  if (a.kv.count("timeseries"))
+    world.enable_timeseries(
+        us(static_cast<Time>(a.get("timeseries-window-us", 0))));
 }
 
 /// Writes the requested artifacts of a finished run (trace + metrics +
@@ -122,13 +139,168 @@ void dump_artifacts(World& world, const Args& a) {
     world.dump_metrics(a.get("metrics", "metrics.json"));
   if (a.kv.count("msgtrace"))
     world.dump_msgtrace(a.get("msgtrace", "msgtrace.json"));
+  if (a.kv.count("timeseries"))
+    world.dump_timeseries(a.get("timeseries", "timeseries.json"));
 }
 
 // --- report ------------------------------------------------------------------
 
+/// Metrics-dump sections of `report`: per-rank busy fractions, host-time
+/// phase attribution (from --profile runs), per-backend notification and
+/// drain-cost rows, and interpolated histogram percentiles.
+int report_metrics(const Args& a) {
+  const std::string metrics_path = a.get("metrics", "metrics.json");
+  const json::ParseResult m = json::parse_file(metrics_path);
+  if (!m.ok) {
+    std::fprintf(stderr, "report: %s: %s (offset %zu)\n", metrics_path.c_str(),
+                 m.error.c_str(), m.error_pos);
+    return 1;
+  }
+  if (m.value.string_or("schema", "") != "narma.metrics.v1") {
+    std::fprintf(stderr, "report: %s: unknown metrics schema '%s'\n",
+                 metrics_path.c_str(),
+                 m.value.string_or("schema", "").c_str());
+    return 1;
+  }
+  const int nranks = static_cast<int>(m.value.number_or("nranks", 0));
+  const json::Array& fams = m.value["metrics"].as_array();
+  auto per_rank_of = [&](const std::string& name) -> const json::Value& {
+    static const json::Value kNull;
+    for (const json::Value& fam : fams)
+      if (fam.string_or("name", "") == name) return fam["per_rank"];
+    return kNull;
+  };
+  auto rank0_value = [&](const std::string& name) -> double {
+    const json::Value& pr = per_rank_of(name);
+    return pr.is_array() && !pr.as_array().empty()
+               ? pr.as_array()[0].number_or("value", 0)
+               : 0.0;
+  };
+
+  // Per-rank busy fractions from the sim.* gauges.
+  const json::Value& busy = per_rank_of("sim.busy_ns");
+  const json::Value& blocked = per_rank_of("sim.blocked_ns");
+  const json::Value& total = per_rank_of("sim.total_ns");
+  if (!busy.is_array() || !total.is_array()) {
+    std::fprintf(stderr, "report: %s has no sim.busy_ns/sim.total_ns gauges\n",
+                 metrics_path.c_str());
+    return 1;
+  }
+  Table busy_table({"rank", "busy_ms", "blocked_ms", "total_ms", "busy_frac"});
+  for (int r = 0; r < nranks; ++r) {
+    const double b = busy[static_cast<std::size_t>(r)].number_or("value", 0);
+    const double w =
+        blocked[static_cast<std::size_t>(r)].number_or("value", 0);
+    const double t = total[static_cast<std::size_t>(r)].number_or("value", 0);
+    busy_table.add_row({Table::fmt(static_cast<long long>(r)),
+                        Table::fmt(b / 1e6), Table::fmt(w / 1e6),
+                        Table::fmt(t / 1e6), Table::fmt(t > 0 ? b / t : 0.0)});
+  }
+  std::printf("\nper-rank busy fraction (from %s):\n", metrics_path.c_str());
+  busy_table.print();
+
+  // Host-time phase attribution (--profile runs export obs.phase_* gauges).
+  // The matching/obs/plumbing split of real host wall-clock — the paper's
+  // simulator-cost question, answered from the dump alone.
+  const double prof_total = rank0_value("obs.profile_total_ns");
+  if (prof_total > 0) {
+    static const char* kPhases[] = {"engine_pop", "callback",  "rank_exec",
+                                    "match",      "transfer",  "app_compute",
+                                    "obs"};
+    Table phase_table({"phase", "host_ms", "calls", "% of run"});
+    double attributed = 0;
+    for (const char* ph : kPhases) {
+      const double ns_v =
+          rank0_value(std::string("obs.phase_") + ph + "_ns");
+      const double calls =
+          rank0_value(std::string("obs.phase_") + ph + "_calls");
+      attributed += ns_v;
+      phase_table.add_row(
+          {ph, Table::fmt(ns_v / 1e6),
+           Table::fmt(static_cast<long long>(calls)),
+           Table::fmt(100.0 * ns_v / prof_total, 1)});
+    }
+    const double unattr = rank0_value("obs.profile_unattributed_ns");
+    phase_table.add_row({"(unattributed)", Table::fmt(unattr / 1e6), "-",
+                         Table::fmt(100.0 * unattr / prof_total, 1)});
+    phase_table.add_row({"(total)", Table::fmt(prof_total / 1e6), "-",
+                         Table::fmt(100.0, 1)});
+    std::printf("\nhost-time phase attribution:\n");
+    phase_table.print();
+    const double obs_ns = rank0_value("obs.phase_obs_ns");
+    std::printf("attributed %.1f%% of host run; obs self-overhead %.2f%%\n",
+                100.0 * attributed / prof_total,
+                100.0 * obs_ns / prof_total);
+  }
+
+  // Per-backend notification delivery + consumer drain cost. Rows appear
+  // only for backends the run's routes actually used (the registry never
+  // registers the rest).
+  {
+    static const char* kBackends[] = {"shm", "aries", "ramc", "verbs"};
+    Table be_table({"backend", "notifs", "drain_ms", "drain_ns/notif"});
+    bool any = false;
+    for (const char* be : kBackends) {
+      const json::Value& notifs =
+          per_rank_of(std::string("net.") + be + "_notifs");
+      if (!notifs.is_array()) continue;
+      any = true;
+      double n = 0, drain_ps = 0;
+      for (const json::Value& cell : notifs.as_array())
+        n += cell.number_or("value", 0);
+      const json::Value& drain =
+          per_rank_of(std::string("net.") + be + "_drain_ps");
+      if (drain.is_array())
+        for (const json::Value& cell : drain.as_array())
+          drain_ps += cell.number_or("value", 0);
+      be_table.add_row({be, Table::fmt(static_cast<long long>(n)),
+                        Table::fmt(drain_ps / 1e9),
+                        Table::fmt(n > 0 ? drain_ps / 1e3 / n : 0.0)});
+    }
+    if (any) {
+      std::printf("\nper-backend notifications (virtual drain cost):\n");
+      be_table.print();
+    }
+  }
+
+  // Histogram families: aggregate count plus the interpolated percentiles
+  // of the busiest rank (highest count), typical-value columns for sweeps.
+  {
+    Table h_table({"histogram", "count", "p50", "p90", "p99", "max"});
+    bool any = false;
+    for (const json::Value& fam : fams) {
+      if (fam.string_or("kind", "") != "histogram") continue;
+      const json::Value& pr = fam["per_rank"];
+      if (!pr.is_array()) continue;
+      double count = 0;
+      const json::Value* top = nullptr;
+      for (const json::Value& cell : pr.as_array()) {
+        count += cell.number_or("count", 0);
+        if (!top || cell.number_or("count", 0) > top->number_or("count", 0))
+          top = &cell;
+      }
+      if (!top || count == 0) continue;
+      any = true;
+      h_table.add_row({fam.string_or("name", "?"),
+                       Table::fmt(static_cast<long long>(count)),
+                       Table::fmt(top->number_or("p50", 0)),
+                       Table::fmt(top->number_or("p90", 0)),
+                       Table::fmt(top->number_or("p99", 0)),
+                       Table::fmt(top->number_or("max", 0))});
+    }
+    if (any) {
+      std::printf("\nhistogram percentiles (busiest rank):\n");
+      h_table.print();
+    }
+  }
+  return 0;
+}
+
 int run_report(const Args& a) {
   if (!a.kv.count("trace")) {
-    std::fputs("report: --trace=FILE is required\n", stderr);
+    if (a.kv.count("metrics")) return report_metrics(a);
+    std::fputs("report: --trace=FILE and/or --metrics=FILE is required\n",
+               stderr);
     return 2;
   }
   const std::string trace_path = a.get("trace", "trace.json");
@@ -244,54 +416,9 @@ int run_report(const Args& a) {
   std::printf("\ntop %zu spans:\n", std::min(topk, spans.size()));
   top_table.print();
 
-  // Per-rank busy fractions from the metrics dump (sim.* gauges).
-  if (a.kv.count("metrics")) {
-    const std::string metrics_path = a.get("metrics", "metrics.json");
-    const json::ParseResult m = json::parse_file(metrics_path);
-    if (!m.ok) {
-      std::fprintf(stderr, "report: %s: %s (offset %zu)\n",
-                   metrics_path.c_str(), m.error.c_str(), m.error_pos);
-      return 1;
-    }
-    if (m.value.string_or("schema", "") != "narma.metrics.v1") {
-      std::fprintf(stderr, "report: %s: unknown metrics schema '%s'\n",
-                   metrics_path.c_str(),
-                   m.value.string_or("schema", "").c_str());
-      return 1;
-    }
-    const int nranks = static_cast<int>(m.value.number_or("nranks", 0));
-    auto per_rank_of = [&](const std::string& name) -> const json::Value& {
-      static const json::Value kNull;
-      for (const json::Value& fam : m.value["metrics"].as_array())
-        if (fam.string_or("name", "") == name) return fam["per_rank"];
-      return kNull;
-    };
-    const json::Value& busy = per_rank_of("sim.busy_ns");
-    const json::Value& blocked = per_rank_of("sim.blocked_ns");
-    const json::Value& total = per_rank_of("sim.total_ns");
-    if (!busy.is_array() || !total.is_array()) {
-      std::fprintf(stderr,
-                   "report: %s has no sim.busy_ns/sim.total_ns gauges\n",
-                   metrics_path.c_str());
-      return 1;
-    }
-    Table busy_table(
-        {"rank", "busy_ms", "blocked_ms", "total_ms", "busy_frac"});
-    for (int r = 0; r < nranks; ++r) {
-      const double b = busy[static_cast<std::size_t>(r)].number_or("value", 0);
-      const double w =
-          blocked[static_cast<std::size_t>(r)].number_or("value", 0);
-      const double t =
-          total[static_cast<std::size_t>(r)].number_or("value", 0);
-      busy_table.add_row({Table::fmt(static_cast<long long>(r)),
-                          Table::fmt(b / 1e6), Table::fmt(w / 1e6),
-                          Table::fmt(t / 1e6),
-                          Table::fmt(t > 0 ? b / t : 0.0)});
-    }
-    std::printf("\nper-rank busy fraction (from %s):\n",
-                metrics_path.c_str());
-    busy_table.print();
-  }
+  // Metrics-dump sections (busy fractions, phase attribution, backends,
+  // histogram percentiles).
+  if (a.kv.count("metrics")) return report_metrics(a);
   return 0;
 }
 
@@ -446,6 +573,198 @@ int run_critpath(const Args& a) {
   return violations ? 1 : 0;
 }
 
+// --- timeline ----------------------------------------------------------------
+
+int run_timeline(const Args& a) {
+  if (!a.kv.count("timeseries")) {
+    std::fputs("timeline: --timeseries=FILE is required\n", stderr);
+    return 2;
+  }
+  const std::string path = a.get("timeseries", "timeseries.json");
+  const auto topk = static_cast<std::size_t>(a.get("top", 20));
+
+  const json::ParseResult doc = json::parse_file(path);
+  if (!doc.ok) {
+    std::fprintf(stderr, "timeline: %s: %s (offset %zu)\n", path.c_str(),
+                 doc.error.c_str(), doc.error_pos);
+    return 1;
+  }
+  if (doc.value.string_or("schema", "") != "narma.timeseries.v1") {
+    std::fprintf(stderr, "timeline: %s: unknown timeseries schema '%s'\n",
+                 path.c_str(), doc.value.string_or("schema", "").c_str());
+    return 1;
+  }
+
+  const json::Array& families = doc.value["families"].as_array();
+  const json::Array& windows = doc.value["windows"].as_array();
+  std::printf(
+      "timeseries %s: %d ranks, window=%.1f us, %lld snapshots "
+      "(%lld downsampling merges) -> %zu windows\n",
+      path.c_str(), static_cast<int>(doc.value.number_or("nranks", 0)),
+      doc.value.number_or("window_ps", 0) / 1e6,
+      static_cast<long long>(doc.value.number_or("snapshots", 0)),
+      static_cast<long long>(doc.value.number_or("merges", 0)),
+      windows.size());
+
+  auto family_name = [&](std::size_t idx) -> std::string {
+    return idx < families.size() ? families[idx].string_or("name", "?")
+                                 : "?";
+  };
+
+  // Per-window rank activity: mean busy fraction across ranks plus the
+  // laggard (lowest busy fraction among active ranks). Only the last
+  // --top windows are tabulated; the telescoped history stays in the JSON.
+  const std::size_t first_shown =
+      windows.size() > topk ? windows.size() - topk : 0;
+  if (first_shown > 0)
+    std::printf("(showing the last %zu of %zu windows; older ones are "
+                "geometrically merged)\n",
+                topk, windows.size());
+  Table win_table({"window", "t_begin_us", "t_end_us", "merged", "cells",
+                   "mean_busy", "min_busy", "laggard"});
+  for (std::size_t i = first_shown; i < windows.size(); ++i) {
+    const json::Value& win = windows[i];
+    const json::Array& ranks = win["ranks"].as_array();
+    double busy_sum = 0, busy_min = 2.0;
+    long long laggard = -1;
+    std::size_t active = 0;
+    for (const json::Value& r : ranks) {
+      const double tot = r.number_or("total_ps", 0);
+      if (tot <= 0) continue;
+      const double f = r.number_or("busy_ps", 0) / tot;
+      busy_sum += f;
+      ++active;
+      if (f < busy_min) {
+        busy_min = f;
+        laggard = static_cast<long long>(r.number_or("rank", -1));
+      }
+    }
+    win_table.add_row(
+        {Table::fmt(static_cast<long long>(i)),
+         Table::fmt(win.number_or("t_begin_ps", 0) / 1e6),
+         Table::fmt(win.number_or("t_end_ps", 0) / 1e6),
+         Table::fmt(static_cast<long long>(win.number_or("merged", 1))),
+         Table::fmt(win["cells"].as_array().size()),
+         Table::fmt(active ? busy_sum / static_cast<double>(active) : 0.0),
+         Table::fmt(active ? busy_min : 0.0), Table::fmt(laggard)});
+  }
+  std::printf("\nper-window rank activity:\n");
+  win_table.print();
+
+  // Busiest counter families by total delta across all windows and ranks.
+  std::map<std::string, double> fam_totals;
+  for (const json::Value& win : windows)
+    for (const json::Value& c : win["cells"].as_array()) {
+      const auto idx = static_cast<std::size_t>(c.number_or("family", 0));
+      if (idx >= families.size()) continue;
+      const std::string kind = families[idx].string_or("kind", "");
+      if (kind == "counter")
+        fam_totals[family_name(idx)] += c.number_or("delta", 0);
+      else if (kind == "histogram")
+        fam_totals[family_name(idx)] += c.number_or("delta_count", 0);
+    }
+  std::vector<std::pair<std::string, double>> ranked(fam_totals.begin(),
+                                                     fam_totals.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& x, const auto& y) {
+    return x.second > y.second || (x.second == y.second && x.first < y.first);
+  });
+  Table fam_table({"family", "total over run"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(topk, ranked.size()); ++i)
+    fam_table.add_row({ranked[i].first,
+                       Table::fmt(static_cast<long long>(ranked[i].second))});
+  std::printf("\nbusiest families (counters + histogram counts):\n");
+  fam_table.print();
+
+  // Model residuals: measured channel latency vs the LogGP prediction of
+  // the backend that carried each sampled message, grouped per window.
+  const json::Array& residuals = doc.value["residuals"].as_array();
+  if (!residuals.empty()) {
+    Table res_table({"window", "backend", "msgs", "model_ns", "residual_ns",
+                     "max_|resid|_ns", "flag"});
+    for (const json::Value& r : residuals)
+      res_table.add_row(
+          {Table::fmt(static_cast<long long>(r.number_or("window", 0))),
+           r.string_or("backend", "?"),
+           Table::fmt(static_cast<long long>(r.number_or("msgs", 0))),
+           Table::fmt(r.number_or("mean_model_ps", 0) / 1e3),
+           Table::fmt(r.number_or("mean_residual_ps", 0) / 1e3),
+           Table::fmt(r.number_or("max_abs_residual_ps", 0) / 1e3),
+           r["flagged"].as_bool() ? "FLAGGED" : ""});
+    std::printf("\nmodel residuals (measured - LogGP per backend):\n");
+    res_table.print();
+  }
+
+  // Flagged anomalies (stragglers, flagged residual groups).
+  const json::Array& anomalies = doc.value["anomalies"].as_array();
+  if (!anomalies.empty()) {
+    Table an_table({"window", "kind", "rank", "detail"});
+    for (const json::Value& an : anomalies)
+      an_table.add_row(
+          {Table::fmt(static_cast<long long>(an.number_or("window", 0))),
+           an.string_or("kind", "?"),
+           Table::fmt(static_cast<long long>(an.number_or("rank", -1))),
+           an.string_or("detail", "")});
+    std::printf("\nanomalies (%zu):\n", anomalies.size());
+    an_table.print();
+  } else {
+    std::printf("\nanomalies: none\n");
+  }
+
+  // Perfetto counter tracks: one counter event per (family, rank) at each
+  // window end, same event shape as the live Tracer's gauge tracks, plus a
+  // busy-fraction track per rank.
+  if (a.kv.count("perfetto")) {
+    const std::string out_path = a.get("perfetto", "timeline_perfetto.json");
+    std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    auto emit = [&](const std::string& fields) {
+      if (!first) out += ',';
+      first = false;
+      out += '{';
+      out += fields;
+      out += '}';
+    };
+    char buf[256];
+    for (const json::Value& win : windows) {
+      const double ts_us = win.number_or("t_end_ps", 0) / 1e6;
+      for (const json::Value& r : win["ranks"].as_array()) {
+        const double tot = r.number_or("total_ps", 0);
+        const auto rank = static_cast<long long>(r.number_or("rank", 0));
+        std::snprintf(buf, sizeof(buf),
+                      "\"ph\":\"C\",\"pid\":0,\"tid\":%lld,\"name\":"
+                      "\"ts.busy_frac\",\"ts\":%.3f,\"args\":{\"value\":%.17g}",
+                      rank, ts_us,
+                      tot > 0 ? r.number_or("busy_ps", 0) / tot : 0.0);
+        emit(buf);
+      }
+      for (const json::Value& c : win["cells"].as_array()) {
+        const auto idx = static_cast<std::size_t>(c.number_or("family", 0));
+        const std::string kind =
+            idx < families.size() ? families[idx].string_or("kind", "") : "";
+        const double v = kind == "counter"     ? c.number_or("delta", 0)
+                         : kind == "gauge"     ? c.number_or("value", 0)
+                         : c.number_or("delta_count", 0);
+        std::snprintf(buf, sizeof(buf),
+                      "\"ph\":\"C\",\"pid\":0,\"tid\":%lld,\"name\":"
+                      "\"ts.%s\",\"ts\":%.3f,\"args\":{\"value\":%.17g}",
+                      static_cast<long long>(c.number_or("rank", 0)),
+                      family_name(idx).c_str(), ts_us, v);
+        emit(buf);
+      }
+    }
+    out += "]}";
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "timeline: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote Perfetto counter tracks to %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
 int run_pingpong(const Args& a) {
   const int ranks = static_cast<int>(a.get("ranks", 2));
   const std::size_t bytes = static_cast<std::size_t>(a.get("bytes", 8));
@@ -531,6 +850,9 @@ int run_stencil(const Args& a) {
   cfg.rows = static_cast<int>(a.get("rows", 256));
   cfg.total_cols = static_cast<int>(a.get("cols", 1024));
   cfg.iters = static_cast<int>(a.get("iters", 2));
+  // Calibrated per-point compute cost in ps (0 = measure the real kernel;
+  // measured runs are host-dependent, calibrated runs are bit-deterministic).
+  cfg.per_point = static_cast<Time>(a.get("per-point", 0));
   const std::string v = a.get("variant", "na");
   cfg.variant = v == "mp"      ? apps::StencilVariant::kMessagePassing
                 : v == "fence" ? apps::StencilVariant::kFence
@@ -619,6 +941,7 @@ int main(int argc, char** argv) {
   if (a.command == "tree") return run_tree(a);
   if (a.command == "cholesky") return run_cholesky(a);
   if (a.command == "report") return run_report(a);
+  if (a.command == "timeline") return run_timeline(a);
   if (a.command == "critpath") return run_critpath(a);
   return usage();
 }
