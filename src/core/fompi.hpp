@@ -19,8 +19,10 @@
 //   foMPI_Start(&req); foMPI_Wait(&req, &st);
 //
 // All calls return FOMPI_SUCCESS; hard errors abort (as NARMA does
-// throughout). The binding is thread-local, so every simulated rank binds
-// its own context.
+// throughout). The binding is stored on the rank's own execution context
+// (RankCtx::user_data), so every simulated rank binds its own context —
+// including under the fiber engine, where all ranks share one OS thread
+// and a thread_local could not tell them apart.
 #pragma once
 
 #include <memory>
@@ -74,18 +76,26 @@ struct foMPI_Status {
 // --- Rank binding ----------------------------------------------------------------
 
 namespace detail {
-inline thread_local Rank* bound_rank = nullptr;
 inline Rank& rank() {
-  NARMA_CHECK(bound_rank != nullptr)
+  // The currently running rank context carries its bound Rank in user_data.
+  // Engine::current() is exact in both execution models; a thread_local
+  // would alias every fiber sharing the engine thread.
+  sim::RankCtx* ctx = sim::Engine::current();
+  NARMA_CHECK(ctx != nullptr)
+      << "foMPI_* functions must be called from rank code";
+  NARMA_CHECK(ctx->user_data() != nullptr)
       << "call narma::fompi::bind(self) before using foMPI_* functions";
-  return *bound_rank;
+  return *static_cast<Rank*>(ctx->user_data());
 }
 }  // namespace detail
 
 /// Binds the foMPI calls on this simulated rank to `self`. Call once at the
 /// top of the rank main.
-inline void bind(Rank& self) { detail::bound_rank = &self; }
-inline void unbind() { detail::bound_rank = nullptr; }
+inline void bind(Rank& self) { self.ctx().set_user_data(&self); }
+inline void unbind() {
+  sim::RankCtx* ctx = sim::Engine::current();
+  if (ctx != nullptr) ctx->set_user_data(nullptr);
+}
 
 // --- World queries ---------------------------------------------------------------
 

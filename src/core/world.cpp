@@ -18,6 +18,14 @@ WorldParams resolve_params(WorldParams p) {
   const std::string q = env::get_string("NARMA_EVENT_QUEUE", "");
   if (q == "legacy") p.sim.event_queue = sim::EventQueue::kLegacyHeap;
   if (q == "calendar") p.sim.event_queue = sim::EventQueue::kCalendar;
+  // Execution-model override (see sim::ExecModel). Unknown values keep the
+  // configured model; NARMA_STACK_KB resizes the per-rank fiber stack.
+  const std::string ex = env::get_string("NARMA_EXEC", "");
+  if (ex == "threads") p.sim.exec_model = sim::ExecModel::kThreads;
+  if (ex == "fibers") p.sim.exec_model = sim::ExecModel::kFibers;
+  const std::int64_t stack_kb = env::get_int(
+      "NARMA_STACK_KB", static_cast<std::int64_t>(p.sim.stack_bytes / 1024));
+  if (stack_kb > 0) p.sim.stack_bytes = static_cast<std::size_t>(stack_kb) * 1024;
   // Fault-model overrides (see net::FaultParams and DESIGN.md §10). Unknown
   // NARMA_OVERFLOW values keep the configured policy.
   const std::string o = env::get_string("NARMA_OVERFLOW", "");
@@ -116,6 +124,7 @@ void World::run(const std::function<void(Rank&)>& rank_main) {
   metrics_->counter("sim.events_executed", 0).inc(engine_->events_executed());
   metrics_->counter("sim.events_posted", 0).inc(engine_->events_posted());
   metrics_->counter("sim.batched_posts", 0).inc(engine_->batched_posts());
+  metrics_->counter("sim.stale_heap_skips", 0).inc(engine_->stale_heap_skips());
   // Fault-model and flow-control outcomes (DESIGN.md §10). All zero in a
   // fault-free fatal-policy run.
   const net::FabricCounters& fc = fabric_->counters();

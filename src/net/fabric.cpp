@@ -15,27 +15,43 @@ Fabric::Fabric(sim::Engine& engine, FabricParams params,
       << params_.ranks_per_node
       << " (0 would divide-by-zero the node map)";
   const auto n = static_cast<std::size_t>(engine_.nranks());
-  channels_.resize(2 * n * n);
+  if (engine_.nranks() <= kDenseChannelRankLimit)
+    channels_.resize(2 * n * n);  // else: sparse_channels_, filled on use
 
   // Node map, then the backend route of every ordered rank pair: intra-node
   // pairs always use the shared-memory backend; inter-node pairs use the
-  // heterogeneous `route` policy when set, `inter_node` otherwise.
+  // heterogeneous `route` policy when set, `inter_node` otherwise. Only the
+  // policy case materializes the n² table — without a policy route_kind()
+  // computes the same answer from the node map alone.
   node_of_.resize(n);
   for (std::size_t r = 0; r < n; ++r)
     node_of_[r] = static_cast<int>(r) / params_.ranks_per_node;
-  route_.resize(n * n);
-  for (std::size_t s = 0; s < n; ++s) {
-    for (std::size_t d = 0; d < n; ++d) {
-      BackendKind k = BackendKind::kShm;
-      if (node_of_[s] != node_of_[d]) {
-        k = params_.route ? params_.route(node_of_[s], node_of_[d])
-                          : params_.inter_node;
-        NARMA_CHECK(k != BackendKind::kShm)
-            << "routing policy assigned the shm backend to inter-node pair "
-            << s << " -> " << d << " (nodes " << node_of_[s] << ", "
-            << node_of_[d] << ")";
+  bool used[kNumBackends] = {};
+  if (params_.route) {
+    route_.resize(n * n);
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t d = 0; d < n; ++d) {
+        BackendKind k = BackendKind::kShm;
+        if (node_of_[s] != node_of_[d]) {
+          k = params_.route(node_of_[s], node_of_[d]);
+          NARMA_CHECK(k != BackendKind::kShm)
+              << "routing policy assigned the shm backend to inter-node pair "
+              << s << " -> " << d << " (nodes " << node_of_[s] << ", "
+              << node_of_[d] << ")";
+        }
+        route_[s * n + d] = k;
+        used[static_cast<std::size_t>(k)] = true;
       }
-      route_[s * n + d] = k;
+    }
+  } else {
+    used[static_cast<std::size_t>(BackendKind::kShm)] = true;  // diagonal
+    // node_of_ is nondecreasing, so "any inter-node pair exists" reduces to
+    // comparing the ends.
+    if (node_of_.front() != node_of_.back()) {
+      NARMA_CHECK(params_.inter_node != BackendKind::kShm)
+          << "FabricParams::inter_node must not be the shm backend when "
+             "ranks span multiple nodes";
+      used[static_cast<std::size_t>(params_.inter_node)] = true;
     }
   }
 
@@ -43,8 +59,6 @@ Fabric::Fabric(sim::Engine& engine, FabricParams params,
   // lane's LogGP row through its owning backend. Lanes of uninstantiated
   // backends fall back to the parameter blocks so Fabric::timing stays
   // total (ablation tools iterate over all lanes).
-  bool used[kNumBackends] = {};
-  for (const BackendKind k : route_) used[static_cast<std::size_t>(k)] = true;
   for (int t = 0; t < kNumTransports; ++t)
     lane_timing_[static_cast<std::size_t>(t)] =
         &params_.timing(static_cast<Transport>(t));

@@ -28,6 +28,7 @@
 #include <array>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "net/backend.hpp"
@@ -74,12 +75,21 @@ class Fabric {
 
   bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
 
+  /// Backend kind serving one ordered rank pair. A dense [src][dst] table
+  /// exists only under a heterogeneous route policy; the homogeneous case
+  /// (the default) is computed from the node map — an n² table would cost
+  /// 16 MB at 4096 ranks for two possible answers.
+  BackendKind route_kind(int src, int dst) const {
+    if (!route_.empty())
+      return route_[static_cast<std::size_t>(src) *
+                        static_cast<std::size_t>(nranks()) +
+                    static_cast<std::size_t>(dst)];
+    return same_node(src, dst) ? BackendKind::kShm : params_.inter_node;
+  }
+
   /// The transport backend serving one ordered rank pair.
   const TransportBackend& backend_for(int src, int dst) const {
-    return *backends_[static_cast<std::size_t>(
-        route_[static_cast<std::size_t>(src) *
-                   static_cast<std::size_t>(nranks()) +
-               static_cast<std::size_t>(dst)])];
+    return *backends_[static_cast<std::size_t>(route_kind(src, dst))];
   }
 
   /// Lane selection, delegated to the pair's backend routing policy
@@ -202,19 +212,35 @@ class Fabric {
     obs::Histogram queue_delay;  // net.chan_queue_ns (injection serialization)
   };
 
+  /// Below this rank count the per-pair channel state is a dense
+  /// [class][src][dst] array (32 MB at 1024 ranks); above it, channels are
+  /// materialized on first use in a hash map — real workloads at scale are
+  /// sparse (a 4096-rank stencil touches ~8 neighbors per rank, not 4095),
+  /// and a dense array would cost 512 MB mostly-untouched.
+  static constexpr int kDenseChannelRankLimit = 1024;
+
   Channel& chan(int src, int dst, ChannelClass cls) {
-    const auto n = static_cast<std::size_t>(nranks());
-    return channels_[(static_cast<std::size_t>(cls) * n +
-                      static_cast<std::size_t>(src)) *
-                         n +
-                     static_cast<std::size_t>(dst)];
+    if (!channels_.empty()) {
+      const auto n = static_cast<std::size_t>(nranks());
+      return channels_[(static_cast<std::size_t>(cls) * n +
+                        static_cast<std::size_t>(src)) *
+                           n +
+                       static_cast<std::size_t>(dst)];
+    }
+    // Value-initialized on first touch, like the dense array; only lookups
+    // ever observe the map, so iteration order cannot leak into timing.
+    const std::uint64_t key = (static_cast<std::uint64_t>(cls) << 62) |
+                              (static_cast<std::uint64_t>(src) << 31) |
+                              static_cast<std::uint64_t>(dst);
+    return sparse_channels_[key];
   }
 
   sim::Engine& engine_;
   FabricParams params_;
-  std::vector<Channel> channels_;  // [class][src][dst]
+  std::vector<Channel> channels_;  // [class][src][dst]; empty at scale
+  std::unordered_map<std::uint64_t, Channel> sparse_channels_;
   std::vector<int> node_of_;       // rank -> node, validated at construction
-  std::vector<BackendKind> route_;  // [src][dst] -> backend kind
+  std::vector<BackendKind> route_;  // [src][dst]; empty without a route policy
   std::array<std::unique_ptr<TransportBackend>, kNumBackends> backends_;
   std::array<const TransportTiming*, kNumTransports> lane_timing_{};
   std::array<Time, kNumBackends> consume_overhead_{};

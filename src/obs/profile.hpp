@@ -128,7 +128,9 @@ class Profiler {
   const Stat& stat(Phase p) const {
     return stats_[static_cast<std::size_t>(p)];
   }
-  /// Ticks spent outside every scope (scheduler bookkeeping, thread spawn).
+  /// Ticks spent outside every scope. The engine attributes its own
+  /// spawn/join and dispatch-loop bookkeeping to kEnginePop, so what lands
+  /// here is World-level glue between runs.
   std::uint64_t unattributed_ticks() const {
     return stats_[kNumPhases].ticks;
   }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <map>
+#include <utility>
 
 #include "mp/collectives.hpp"
 #include "obs/msgtrace.hpp"
@@ -12,6 +14,35 @@ namespace {
 constexpr std::uint32_t kPscwKind = 0x0201;
 constexpr std::uint64_t kSubPost = 0;
 constexpr std::uint64_t kSubComplete = 1;
+
+// Process-wide registry of shared key tables, keyed by (fabric, window id):
+// window ids are collectively consistent within a world, and the fabric
+// address separates concurrently live worlds. Entries erase themselves when
+// the last rank of a window drops its reference. No locking — ranks run one
+// at a time under the engine's one-runnable-context invariant, in both
+// execution models.
+using KeyTableId = std::pair<const void*, std::uint64_t>;
+
+std::map<KeyTableId, std::weak_ptr<KeyTable>>& key_table_registry() {
+  static std::map<KeyTableId, std::weak_ptr<KeyTable>> registry;
+  return registry;
+}
+
+std::shared_ptr<KeyTable> adopt_key_table(const void* fabric,
+                                          std::uint64_t win_id) {
+  auto& registry = key_table_registry();
+  const KeyTableId id{fabric, win_id};
+  if (auto it = registry.find(id); it != registry.end()) {
+    if (auto table = it->second.lock()) return table;
+  }
+  auto table = std::shared_ptr<KeyTable>(
+      new KeyTable, [id](KeyTable* t) {
+        key_table_registry().erase(id);
+        delete t;
+      });
+  registry[id] = table;
+  return table;
+}
 
 // Lifecycle-trace helpers: begin() snapshots the injection instant before
 // the API overhead is charged; trace_issue() marks the post-overhead handoff
@@ -100,9 +131,6 @@ Window::Window(WinManager& mgr, std::uint64_t id, void* base,
       disp_unit_(disp_unit == 0 ? 1 : disp_unit),
       owned_(std::move(owned)) {
   const auto n = static_cast<std::size_t>(ep_.nranks());
-  pending_.resize(n);
-  posts_from_.assign(n, 0);
-  completes_from_.assign(n, 0);
 
   // Register with the manager before the collective key exchange: a peer
   // can finish the exchange first and immediately send PSCW traffic here.
@@ -110,19 +138,23 @@ Window::Window(WinManager& mgr, std::uint64_t id, void* base,
 
   // Collective setup: register the local region and the lock word, and
   // allgather both keys so every rank can address every other rank's copy.
+  // The gathered table is identical on every rank, so the window's ranks
+  // share one copy; the allgather itself still runs everywhere — sharing
+  // the storage does not change virtual time.
   const net::MemKey keys[2] = {
       nic().register_memory(base_, bytes_),
       nic().register_memory(&lock_word_, sizeof(lock_word_))};
   std::vector<net::MemKey> gathered(2 * n);
   mp::allgather(ep_, keys, sizeof(keys), gathered.data());
-  keys_.resize(n);
-  lock_keys_.resize(n);
-  for (std::size_t r = 0; r < n; ++r) {
-    keys_[r] = gathered[2 * r];
-    lock_keys_[r] = gathered[2 * r + 1];
+  keys_ = adopt_key_table(&nic().fabric(), id_);
+  if (keys_->mem.empty()) {  // first rank to finish the exchange fills it
+    keys_->mem.resize(n);
+    keys_->lock.resize(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      keys_->mem[r] = gathered[2 * r];
+      keys_->lock[r] = gathered[2 * r + 1];
+    }
   }
-  held_locks_.assign(n, LockKind::kShared);
-  lock_held_.assign(n, 0);
 }
 
 Window::~Window() {
@@ -130,8 +162,8 @@ Window::~Window() {
   // operations must be complete; flush for safety, then barrier.
   flush_all();
   mp::barrier(ep_);
-  nic().deregister_memory(keys_[static_cast<std::size_t>(rank())]);
-  nic().deregister_memory(lock_keys_[static_cast<std::size_t>(rank())]);
+  nic().deregister_memory(keys_->mem[static_cast<std::size_t>(rank())]);
+  nic().deregister_memory(keys_->lock[static_cast<std::size_t>(rank())]);
   mgr_.windows_.erase(id_);
 }
 
@@ -256,7 +288,8 @@ void Window::flush_all() {
   router_.nic().ctx().advance(mgr_.params().o_flush);
   router_.wait_progress(
       [this] {
-        for (const auto& p : pending_)
+        // Order-independent conjunction, so map iteration order is fine.
+        for (const auto& [t, p] : pending_)
           if (!p.all_done()) return false;
         return true;
       },
@@ -294,12 +327,14 @@ void Window::start(std::span<const int> target_group) {
   // Wait for a post from every target in the group.
   router_.wait_progress(
       [this] {
-        for (int t : access_group_)
-          if (posts_from_[static_cast<std::size_t>(t)] == 0) return false;
+        for (int t : access_group_) {
+          const auto it = posts_from_.find(t);
+          if (it == posts_from_.end() || it->second == 0) return false;
+        }
         return true;
       },
       "pscw-start");
-  for (int t : access_group_) --posts_from_[static_cast<std::size_t>(t)];
+  for (int t : access_group_) --posts_from_[t];
 }
 
 void Window::complete() {
@@ -318,8 +353,10 @@ void Window::complete() {
 
 bool Window::test_pscw() {
   router_.progress();
-  for (int o : exposure_group_)
-    if (completes_from_[static_cast<std::size_t>(o)] == 0) return false;
+  for (int o : exposure_group_) {
+    const auto it = completes_from_.find(o);
+    if (it == completes_from_.end() || it->second == 0) return false;
+  }
   return true;
 }
 
@@ -328,22 +365,24 @@ void Window::wait() {
   mgr_.c_pscw_syncs_.inc();
   router_.wait_progress(
       [this] {
-        for (int o : exposure_group_)
-          if (completes_from_[static_cast<std::size_t>(o)] == 0) return false;
+        for (int o : exposure_group_) {
+          const auto it = completes_from_.find(o);
+          if (it == completes_from_.end() || it->second == 0) return false;
+        }
         return true;
       },
       "pscw-wait");
-  for (int o : exposure_group_) --completes_from_[static_cast<std::size_t>(o)];
+  for (int o : exposure_group_) --completes_from_[o];
   exposure_group_.clear();
 }
 
 // Passive target --------------------------------------------------------------
 
 void Window::lock(LockKind kind, int target) {
-  auto& held = lock_held_[static_cast<std::size_t>(target)];
-  NARMA_CHECK(!held) << "lock(" << target << ") while already holding it";
+  NARMA_CHECK(locks_held_.find(target) == locks_held_.end())
+      << "lock(" << target << ") while already holding it";
   router_.nic().ctx().advance(mgr_.params().o_sync);
-  const net::MemKey lkey = lock_keys_[static_cast<std::size_t>(target)];
+  const net::MemKey lkey = keys_->lock[static_cast<std::size_t>(target)];
   net::PendingOps po;
   Time backoff = ns(200);
   for (;;) {
@@ -368,18 +407,18 @@ void Window::lock(LockKind kind, int target) {
                                     "rma-lock-backoff");
     backoff = std::min<Time>(backoff * 2, us(10));
   }
-  held = 1;
-  held_locks_[static_cast<std::size_t>(target)] = kind;
+  locks_held_.emplace(target, kind);
 }
 
 void Window::unlock(int target) {
-  auto& held = lock_held_[static_cast<std::size_t>(target)];
-  NARMA_CHECK(held) << "unlock(" << target << ") without holding the lock";
+  const auto it = locks_held_.find(target);
+  NARMA_CHECK(it != locks_held_.end())
+      << "unlock(" << target << ") without holding the lock";
   // Remote-complete the epoch's operations before releasing.
   flush(target);
-  const net::MemKey lkey = lock_keys_[static_cast<std::size_t>(target)];
+  const net::MemKey lkey = keys_->lock[static_cast<std::size_t>(target)];
   net::PendingOps po;
-  if (held_locks_[static_cast<std::size_t>(target)] == LockKind::kExclusive) {
+  if (it->second == LockKind::kExclusive) {
     std::int64_t old = 0;
     nic().atomic(target, lkey, 0, net::Nic::AtomicOp::kCasI64, 0, -1, &old,
                  {}, &po);
@@ -390,7 +429,7 @@ void Window::unlock(int target) {
                  {}, &po);
     nic().flush(po, "rma-unlock-shared");
   }
-  held = 0;
+  locks_held_.erase(it);
 }
 
 void Window::lock_all() {
@@ -401,10 +440,8 @@ void Window::unlock_all() {
   for (int t = 0; t < nranks(); ++t) unlock(t);
 }
 
-void Window::on_post(int src) { ++posts_from_[static_cast<std::size_t>(src)]; }
+void Window::on_post(int src) { ++posts_from_[src]; }
 
-void Window::on_complete(int src) {
-  ++completes_from_[static_cast<std::size_t>(src)];
-}
+void Window::on_complete(int src) { ++completes_from_[src]; }
 
 }  // namespace narma::rma

@@ -30,6 +30,16 @@ struct RmaParams {
 
 class Window;
 
+/// Remote-key table of one window, shared by all of its ranks. The
+/// allgathered key vectors are identical on every rank, so the ranks adopt
+/// one copy through a process-wide registry (window.cpp) instead of each
+/// holding an nranks-sized copy — 2·n² keys per window at 4096 ranks would
+/// dwarf the windows themselves.
+struct KeyTable {
+  std::vector<net::MemKey> mem;   // per-rank region keys
+  std::vector<net::MemKey> lock;  // per-rank lock-word keys
+};
+
 /// Per-rank registry of windows; owns the PSCW message dispatch and hands
 /// out collectively consistent window ids.
 class WinManager {
@@ -156,11 +166,13 @@ class Window {
 
   net::Nic& nic() { return router_.nic(); }
   net::MemKey remote_key(int target) const {
-    return keys_[static_cast<std::size_t>(target)];
+    return keys_->mem[static_cast<std::size_t>(target)];
   }
-  net::PendingOps& pending(int target) {
-    return pending_[static_cast<std::size_t>(target)];
-  }
+  /// Completion counters for one target, materialized on first use. The NIC
+  /// holds the returned pointer until the operations complete, which is why
+  /// the map must be node-based (unordered_map references are never
+  /// invalidated by inserts).
+  net::PendingOps& pending(int target) { return pending_[target]; }
   std::uint64_t byte_offset(std::uint64_t disp) const {
     return disp * disp_unit_;
   }
@@ -180,22 +192,26 @@ class Window {
   void* base_;
   std::size_t bytes_;
   std::size_t disp_unit_;
-  std::vector<std::byte> owned_;           // storage when created via allocate
-  std::vector<net::MemKey> keys_;          // per-rank remote keys
-  std::vector<net::PendingOps> pending_;   // per-target completion counters
+  std::vector<std::byte> owned_;       // storage when created via allocate
+  std::shared_ptr<KeyTable> keys_;     // shared by the ranks of this window
+
+  // Per-target state is sparse: a rank at scale talks to a handful of
+  // neighbors, not to all n-1 peers, so these maps hold entries only for
+  // targets actually touched (a 4096-rank window would otherwise carry
+  // ~n-sized vectors per rank — n² aggregate).
+  std::unordered_map<int, net::PendingOps> pending_;  // completion counters
 
   // Passive-target lock word: 0 free, -1 exclusively held, n > 0 shared by
-  // n readers. Registered separately; keys exchanged at creation.
+  // n readers. Registered separately; keys exchanged at creation. A map
+  // entry exists exactly while this rank holds that target's lock.
   std::int64_t lock_word_ = 0;
-  std::vector<net::MemKey> lock_keys_;
-  std::vector<LockKind> held_locks_;       // per-target, for unlock()
-  std::vector<char> lock_held_;
+  std::unordered_map<int, LockKind> locks_held_;
 
-  // PSCW state.
-  std::vector<std::uint32_t> posts_from_;      // counts per peer
-  std::vector<std::uint32_t> completes_from_;  // counts per peer
-  std::vector<int> access_group_;              // set by start()
-  std::vector<int> exposure_group_;            // set by post()
+  // PSCW state (counts per peer; absent entry == 0).
+  std::unordered_map<int, std::uint32_t> posts_from_;
+  std::unordered_map<int, std::uint32_t> completes_from_;
+  std::vector<int> access_group_;    // set by start()
+  std::vector<int> exposure_group_;  // set by post()
 };
 
 }  // namespace narma::rma

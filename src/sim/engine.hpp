@@ -1,19 +1,28 @@
 // Deterministic discrete-event engine with cooperatively scheduled ranks.
 //
 // NARMA simulates a distributed-memory machine inside one process. Each
-// simulated MPI-like *rank* runs user code on its own OS thread, but the
-// engine enforces that **at most one thread is runnable at any instant**
-// (scheduler and rank threads hand control back and forth through binary
-// semaphores). Consequences:
+// simulated MPI-like *rank* runs user code on its own execution context —
+// by default a stackful user-space fiber multiplexed on the engine thread
+// (sim/fiber.hpp), or a dedicated OS thread under
+// SimParams::exec_model == ExecModel::kThreads — and the engine enforces
+// that **at most one context is runnable at any instant**. Consequences:
 //
 //  * No data races by construction — every access to engine or fabric state
-//    happens with exactly one active thread; the semaphore handoffs provide
-//    the release/acquire ordering.
+//    happens with exactly one active context; fiber switches are plain
+//    in-thread control transfer, and in threads mode the semaphore handoffs
+//    provide the release/acquire ordering.
 //  * Deterministic execution — events are ordered by (virtual time, issue
-//    sequence number) and ready ranks by (resume time, rank id).
+//    sequence number) and ready ranks by (resume time, rank id). Both
+//    execution models dispatch in exactly this order, so virtual times are
+//    bit-identical between them (tests/test_sim_fibers.cpp).
 //  * Clean compute measurement even on a single-core host — when a rank
-//    measures a real compute kernel, no other simulation thread competes
+//    measures a real compute kernel, no other simulation context competes
 //    for the CPU.
+//
+// Under fibers a block/resume costs two in-process context switches instead
+// of two semaphore syscall round-trips, and a rank's stack costs only the
+// pages it touches instead of a pthread stack — which is what lets one core
+// carry 4096+ ranks (see DESIGN.md §8 and bench/scale_sweep.cpp).
 //
 // Virtual time model (conservative, LogGOPSim-style): each rank owns a
 // virtual clock that advances through explicit charges (`advance`) and
@@ -29,7 +38,11 @@
 // Scheduling is O(log n) in the rank count: ready ranks sit in a binary
 // min-heap on (resume_time, id), pushed at the three transition sites into
 // kReady (initial start, Engine::wake, RankCtx::yield_until) and popped
-// when resumed — replacing the per-iteration linear scan over all slots.
+// when resumed. A rank can own two live heap entries at once (a
+// wait_deadline timeout plus the wake that beat it); entries carry the
+// rank's generation counter at push time and a pop whose generation no
+// longer matches is skipped in O(log n) (counted in stale_heap_skips())
+// instead of triggering any heap surgery.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +57,7 @@
 #include "common/assert.hpp"
 #include "common/time.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fiber.hpp"
 #include "sim/params.hpp"
 
 namespace narma::obs {
@@ -85,22 +99,28 @@ enum class RankState : std::uint8_t {
   kFinished,  // rank main returned
 };
 
-struct RankSlot {
-  std::unique_ptr<RankCtx> ctx;
-  std::thread thread;
-  std::binary_semaphore resume{0};  // engine -> rank handoff
-  RankState state = detail::RankState::kReady;
-  Time resume_time = 0;
-  const char* block_label = "";  // diagnostic for deadlock dumps
+/// Cold per-rank execution-context storage. Scheduling state lives on
+/// RankCtx (the hot cache line); this struct only holds whichever context
+/// backend the engine was built with and is touched once per switch.
+struct ExecSlot {
+  std::unique_ptr<Fiber> fiber;  // kFibers
+  std::thread thread;            // kThreads
+  std::unique_ptr<std::binary_semaphore> resume;  // kThreads: engine -> rank
 };
 
 }  // namespace detail
 
 /// Per-rank execution context. The communication layers wrap this; user code
 /// normally sees the narma::Rank facade instead.
-class RankCtx {
+///
+/// RankCtx doubles as the scheduler's hot per-rank record: every field the
+/// dispatch loop reads or writes when parking, waking, or resuming a rank
+/// (clock, resume time, state, generation, id) is packed into this one
+/// 64-byte cache-line-aligned struct, so a scheduling decision touches
+/// exactly one line per rank (verified against the cachesim model in
+/// tests/test_sim_fibers.cpp).
+class alignas(64) RankCtx {
  public:
-  RankCtx(Engine& eng, int id) : engine_(&eng), id_(id) {}
   RankCtx(const RankCtx&) = delete;
   RankCtx& operator=(const RankCtx&) = delete;
 
@@ -119,7 +139,7 @@ class RankCtx {
 
   /// Runs `fn` on the real CPU, measures its wall time, and charges it to
   /// virtual time (scaled by `scale`). Valid because only one simulation
-  /// thread runs at a time.
+  /// context runs at a time.
   template <class F>
   void charge_measured(F&& fn, double scale = 1.0) {
     const std::uint64_t t0 = wallclock_ns();
@@ -153,16 +173,33 @@ class RankCtx {
   /// busy = now() - blocked_time(); the metrics layer exports both.
   Time blocked_time() const { return blocked_; }
 
+  /// One pointer of rank-scoped user storage, carried on the hot record so
+  /// a lookup through Engine::current() stays within the same cache line.
+  /// The foMPI compatibility layer keeps its bound narma::Rank here (a
+  /// thread_local cannot distinguish ranks once they share the engine
+  /// thread as fibers).
+  void* user_data() const { return user_data_; }
+  void set_user_data(void* p) { user_data_ = p; }
+
  private:
   friend class Engine;
+  friend class Trigger;
 
-  Engine* engine_;
-  int id_;
-  Time clock_ = 0;
-  Time blocked_ = 0;
+  RankCtx() = default;  // engine-internal; wired up by Engine's constructor
+
+  // Hot scheduling record — one 64-byte cache line, asserted in engine.cpp.
+  Engine* engine_ = nullptr;        // +0
+  Time clock_ = 0;                  // +8
+  Time resume_time_ = 0;            // +16  when to resume (kNever: no timeout)
+  Time blocked_ = 0;                // +24
+  const char* block_label_ = "";    // +32  diagnostic for deadlock dumps
+  void* user_data_ = nullptr;       // +40
+  std::int32_t id_ = -1;            // +48
+  std::uint32_t gen_ = 0;           // +52  bumped on resume; stale-entry check
+  detail::RankState state_ = detail::RankState::kReady;  // +56
 };
 
-/// The discrete-event engine. Owns the event queue and the rank threads.
+/// The discrete-event engine. Owns the event queue and the rank contexts.
 class Engine {
  public:
   explicit Engine(int nranks, SimParams params = {});
@@ -175,7 +212,7 @@ class Engine {
   void run(const std::function<void(RankCtx&)>& rank_main);
 
   /// Schedules `fn` to execute at virtual time `t`. Callable from rank
-  /// threads and from event handlers. The closure is stored inline (or in
+  /// contexts and from event handlers. The closure is stored inline (or in
   /// the slab EventPool when oversized) — no per-event heap allocation on
   /// the calendar queue.
   template <class F>
@@ -207,10 +244,18 @@ class Engine {
     }
   }
 
-  int nranks() const { return static_cast<int>(slots_.size()); }
-  RankCtx& rank(int i) { return *slots_[static_cast<std::size_t>(i)].ctx; }
+  int nranks() const { return nranks_; }
+  RankCtx& rank(int i) { return ranks_[static_cast<std::size_t>(i)]; }
 
   const SimParams& params() const { return params_; }
+
+  /// The rank context currently executing user code, or nullptr while the
+  /// engine itself (event callbacks, scheduler loop) runs. Valid in both
+  /// execution models: the one-runnable-context invariant makes a single
+  /// pointer handoff race-free (in threads mode the semaphore pair orders
+  /// it), where a thread_local would misattribute ranks once they share
+  /// the engine thread as fibers.
+  static RankCtx* current();
 
   std::uint64_t events_executed() const { return events_executed_; }
   std::uint64_t events_posted() const { return next_seq_; }
@@ -224,6 +269,10 @@ class Engine {
   std::size_t queue_high_water() const { return queue_high_water_; }
   /// Number of post_batch() calls that took the batched path.
   std::uint64_t batched_posts() const { return batched_posts_; }
+  /// Ready-heap pops discarded because the rank's generation moved on (the
+  /// losing half of a wait_deadline timeout/wake pair). Exported as
+  /// sim.stale_heap_skips.
+  std::uint64_t stale_heap_skips() const { return stale_heap_skips_; }
   /// Queue depth sampled at every pop (log2 buckets).
   const Log2Hist& pop_depth_hist() const { return pop_depth_hist_; }
   /// Occupancy of the oversized-closure slab pool.
@@ -248,7 +297,10 @@ class Engine {
   /// Attaches the host-time phase profiler (nullptr detaches). The engine
   /// opens kEnginePop/kCallback scopes around event execution and a
   /// kRankExec scope around each rank resume; a null or stopped profiler
-  /// makes each site a single branch.
+  /// makes each site a single branch. The profiler's single current-phase
+  /// chain is untroubled by fiber switches — they never leave the engine
+  /// thread, so a kRankExec scope spanning a switch attributes the rank's
+  /// host time exactly as the threads model's semaphore handoff did.
   void set_profiler(obs::Profiler* p) { profiler_ = p; }
   obs::Profiler* profiler() const { return profiler_; }
 
@@ -258,12 +310,28 @@ class Engine {
 
   static constexpr Time kNever = std::numeric_limits<Time>::max();
 
-  detail::RankSlot& slot(int i) { return slots_[static_cast<std::size_t>(i)]; }
+  /// Ready-heap entry. `gen` snapshots the rank's generation counter at
+  /// push time; a pop with a stale generation is skipped. Ordering is on
+  /// (t, id) only — two entries for one rank at the same time differ only
+  /// in generation, and exactly one of them can match at pop time.
+  struct ReadyEntry {
+    Time t;
+    std::uint32_t id;
+    std::uint32_t gen;
+    friend bool operator>(const ReadyEntry& a, const ReadyEntry& b) {
+      if (a.t != b.t) return a.t > b.t;
+      return a.id > b.id;
+    }
+  };
 
-  // Rank-thread side: hand control to the scheduler and wait to be resumed.
+  detail::ExecSlot& slot(int i) { return slots_[static_cast<std::size_t>(i)]; }
+
+  // Rank-context side: hand control to the scheduler and wait to be resumed.
   void yield_to_engine(int rank_id);
   // Engine side: resume one rank and wait until it hands control back.
-  void resume_rank(detail::RankSlot& s);
+  void resume_rank(RankCtx& c);
+  // Body of one rank in fiber mode (runs on the rank's fiber stack).
+  void fiber_rank_body(int rank_id);
 
   void wake(int rank_id, Time t);
   void execute_due(Time horizon);  // run events with time <= horizon
@@ -286,24 +354,31 @@ class Engine {
   }
 
   // --- Ready-rank min-heap on (resume_time, id) -----------------------------
-  // A rank appears at most once: it is pushed exactly when it transitions
-  // to kReady and popped when resumed, and resume_time never changes while
-  // it is in the heap (wake() ignores non-blocked ranks), so no
-  // decrease-key is needed.
+  // A rank is pushed when it transitions to kReady (initial start, wake,
+  // yield_until) and when wait_deadline arms a timeout; it is popped when
+  // resumed. resume_time never changes while an entry is live (wake()
+  // ignores non-blocked ranks), so no decrease-key is needed; superseded
+  // entries are invalidated by the generation bump in resume_rank and
+  // skipped at pop.
   void ready_push(int rank_id, Time t);
-  int ready_pop();
+  ReadyEntry ready_pop();
 
   SimParams params_;
-  std::vector<detail::RankSlot> slots_;
+  int nranks_;
+  std::unique_ptr<RankCtx[]> ranks_;   // hot: one cache line per rank
+  std::vector<detail::ExecSlot> slots_;  // cold: fibers / threads
   EventPool pool_;  // declared before the queues: events release into it
   CalendarQueue calendar_;
   LegacyHeapQueue legacy_;
   const bool use_calendar_;
-  std::vector<std::pair<Time, int>> ready_;  // binary min-heap
-  std::binary_semaphore engine_sem_{0};      // rank -> engine handoff
+  const bool use_fibers_;
+  std::vector<ReadyEntry> ready_;        // binary min-heap
+  std::binary_semaphore engine_sem_{0};  // kThreads: rank -> engine handoff
+  const std::function<void(RankCtx&)>* rank_main_ = nullptr;  // live in run()
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
   std::uint64_t batched_posts_ = 0;
+  std::uint64_t stale_heap_skips_ = 0;
   std::uint64_t run_wall_ns_ = 0;
   std::size_t queue_high_water_ = 0;
   Log2Hist pop_depth_hist_;
