@@ -95,6 +95,49 @@ Sample run_tree_child(int nranks) {
   return s;
 }
 
+/// Observability-cost pair (DESIGN.md §14): the same stencil once with
+/// everything off and once with the full aggregate observability stack —
+/// aggregate-mode metrics, the flight recorder, and the anomaly journal.
+/// tools/check_scale_baseline.py gates the wall-clock factor and RSS delta
+/// between the two rows at the largest rank count.
+Sample run_stencil_obs_pair(int nranks, bool obs_on) {
+  apps::StencilConfig cfg;  // same shape as run_stencil_child
+  cfg.rows = 64;
+  cfg.total_cols = 2 * nranks;
+  cfg.iters = 1;
+  cfg.variant = apps::StencilVariant::kNotified;
+  cfg.per_point = ns(2);
+  WorldParams wp;
+  if (obs_on) {
+    wp.obs.obs_mode = obs::ObsMode::kAggregate;
+  } else {
+    wp.enable_metrics = false;
+    wp.obs.journal_capacity = 0;
+  }
+  World world(nranks, wp);
+  if (obs_on) world.enable_timeseries();
+  apps::StencilResult res;
+  const std::uint64_t t0 = wallclock_ns();
+  world.run([&](Rank& self) {
+    apps::StencilResult r = apps::run_stencil(self, cfg);
+    if (self.id() == 0) res = r;
+  });
+  Sample s;
+  s.wall_ns = wallclock_ns() - t0;
+  s.events = world.engine().events_executed();
+  s.peak_rss_kb = peak_rss_kb();
+  s.verified = res.verified ? 1 : 0;
+  return s;
+}
+
+Sample run_stencil_obs0_child(int nranks) {
+  return run_stencil_obs_pair(nranks, false);
+}
+
+Sample run_stencil_obs_child(int nranks) {
+  return run_stencil_obs_pair(nranks, true);
+}
+
 /// Forks, runs `fn(nranks)` in the child, and reads the Sample back through
 /// a pipe. A child that crashes or fails verification aborts the sweep —
 /// scale without correctness is not a result.
@@ -160,5 +203,9 @@ int main() {
               std::to_string(nreps) + " reps");
   sweep("stencil", run_stencil_child, rank_counts, nreps);
   sweep("tree", run_tree_child, rank_counts, nreps);
+  bench::note("stencil_obs0/_obs: same stencil with observability fully off "
+              "vs the aggregate stack (metrics + recorder + journal)");
+  sweep("stencil_obs0", run_stencil_obs0_child, rank_counts, nreps);
+  sweep("stencil_obs", run_stencil_obs_child, rank_counts, nreps);
   return 0;
 }

@@ -47,6 +47,24 @@ WorldParams resolve_params(WorldParams p) {
   f.delay_rate = env::get_double("NARMA_FAULT_DELAY", f.delay_rate);
   f.stall_rate = env::get_double("NARMA_FAULT_STALL", f.stall_rate);
   f.pressure_rate = env::get_double("NARMA_FAULT_PRESSURE", f.pressure_rate);
+  // Observability-mode overrides (DESIGN.md §14). Unknown NARMA_OBS values
+  // keep the configured mode.
+  const std::string om = env::get_string("NARMA_OBS", "");
+  if (om == "dense") p.obs.obs_mode = obs::ObsMode::kDense;
+  if (om == "aggregate") p.obs.obs_mode = obs::ObsMode::kAggregate;
+  p.obs.obs_shards = static_cast<int>(
+      env::get_int("NARMA_OBS_SHARDS", p.obs.obs_shards));
+  p.obs.outlier_k = static_cast<int>(
+      env::get_int("NARMA_OBS_OUTLIER_K", p.obs.outlier_k));
+  p.obs.sample_ranks = static_cast<int>(
+      env::get_int("NARMA_OBS_SAMPLE_RANKS", p.obs.sample_ranks));
+  p.obs.perfetto_gauge_rank_limit = static_cast<int>(env::get_int(
+      "NARMA_OBS_GAUGE_RANK_LIMIT", p.obs.perfetto_gauge_rank_limit));
+  const std::int64_t jcap = env::get_int(
+      "NARMA_OBS_JOURNAL_CAP",
+      static_cast<std::int64_t>(p.obs.journal_capacity));
+  p.obs.journal_capacity =
+      jcap > 0 ? static_cast<std::size_t>(jcap) : 0;
   return p;
 }
 
@@ -63,6 +81,8 @@ void world_crash_dump(void* world) {
   // Windows captured so far; the crash window itself is lost (finalize
   // never ran), but the time axis up to the failure survives.
   w->dump_timeseries(dir + "/crash_timeseries.json");
+  // Anomaly records up to the failure — usually the most direct clue.
+  w->dump_journal(dir + "/crash_journal.json");
 }
 
 }  // namespace
@@ -71,10 +91,14 @@ World::World(int nranks, WorldParams params)
     : params_(resolve_params(std::move(params))),
       engine_(std::make_unique<sim::Engine>(nranks, params_.sim)),
       metrics_(params_.enable_metrics
-                   ? std::make_unique<obs::Registry>(nranks)
+                   ? std::make_unique<obs::Registry>(nranks, params_.obs)
                    : nullptr),
       fabric_(std::make_unique<net::Fabric>(*engine_, params_.fabric,
                                             metrics_.get())) {
+  if (params_.obs.journal_capacity > 0) {
+    journal_ = std::make_unique<obs::Journal>(params_.obs.journal_capacity);
+    fabric_->set_journal(journal_.get());
+  }
   if (params_.obs.msgtrace) enable_msgtrace();
   if (params_.obs.timeseries) enable_timeseries();
   if (!env::get_string("NARMA_CRASH_DIR", "").empty())
@@ -90,6 +114,7 @@ void World::enable_timeseries(Time window_ps) {
   if (timeseries_) return;
   timeseries_ =
       std::make_unique<obs::TimeSeries>(*metrics_, *engine_, params_.obs);
+  if (journal_) timeseries_->set_journal(journal_.get());
   engine_->set_time_probe(
       timeseries_->window(), [this](Time boundary, Time horizon) {
         // The snapshot pass is itself obs work; charge it to the obs phase
@@ -176,6 +201,14 @@ void World::run(const std::function<void(Rank&)>& rank_main) {
         .set(static_cast<std::int64_t>((total - blocked) / kPicosPerNano),
              total);
   }
+  // Obs self-cost (ISSUE: obs observes itself): the registry's structural
+  // footprint and the journal's depth. Both gauge families are created
+  // before the footprint is computed so the estimate includes them; the
+  // depth is stamped later, once every journal source has run.
+  obs::Gauge reg_bytes = metrics_->gauge("obs.registry_bytes", 0);
+  obs::Gauge journal_depth = metrics_->gauge("obs.journal_depth", 0);
+  reg_bytes.set(static_cast<std::int64_t>(metrics_->footprint_bytes()),
+                t_end);
   // Host-time phase attribution (gauges the flight recorder excludes from
   // its snapshots — see obs/timeseries.cpp — so they never break the
   // bit-determinism of the time-series JSON).
@@ -184,8 +217,25 @@ void World::run(const std::function<void(Rank&)>& rank_main) {
   // final window's deltas telescope exactly to the narma.metrics.v1 totals.
   if (timeseries_) {
     timeseries_->finalize(t_end);
-    if (msgtrace_) timeseries_->set_residuals(residual_rows());
+    if (msgtrace_) {
+      std::vector<obs::TimeSeries::ResidualRow> rows = residual_rows();
+      if (journal_) {
+        // Flagged model residuals become typed journal records: rank -1
+        // (backend-scoped), peer = window, payload in picoseconds.
+        for (const auto& r : rows) {
+          if (!r.flagged) continue;
+          journal_->append(
+              obs::JournalKind::kResidual, t_end, -1,
+              static_cast<std::int32_t>(r.window),
+              static_cast<std::uint64_t>(std::max(0.0, r.mean_residual_ps)),
+              static_cast<std::uint64_t>(std::max(0.0, r.mean_model_ps)));
+        }
+      }
+      timeseries_->set_residuals(std::move(rows));
+    }
   }
+  journal_depth.set(
+      journal_ ? static_cast<std::int64_t>(journal_->size()) : 0, t_end);
 }
 
 std::vector<obs::TimeSeries::ResidualRow> World::residual_rows() const {

@@ -26,6 +26,7 @@
 #include "mp/collectives.hpp"
 #include "mp/endpoint.hpp"
 #include "net/fabric.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/msgtrace.hpp"
 #include "obs/params.hpp"
@@ -138,6 +139,16 @@ class World {
     return timeseries_ && timeseries_->write_json(path);
   }
 
+  /// The anomaly journal (src/obs/journal); created at construction when
+  /// ObsParams::journal_capacity > 0 and fed by the fault injector, NIC
+  /// backpressure, and the flight-recorder monitors.
+  obs::Journal* journal() { return journal_.get(); }
+  /// Writes the narma.journal.v1 JSON dump; false when the journal is
+  /// disabled or the file cannot be written.
+  bool dump_journal(const std::string& path) const {
+    return journal_ && journal_->write_json(path);
+  }
+
   /// Turns on phase-attributed host profiling (call before run()). The
   /// profiler reads host clocks only — virtual times are unchanged; its
   /// results are exported as obs.phase_* / obs.profile_* gauges after the
@@ -158,6 +169,7 @@ class World {
   std::unique_ptr<obs::MsgTrace> msgtrace_;
   std::unique_ptr<obs::TimeSeries> timeseries_;
   std::unique_ptr<obs::Profiler> profiler_;
+  std::unique_ptr<obs::Journal> journal_;
 };
 
 /// Per-rank handle. Constructed by World::run on the rank's own thread;

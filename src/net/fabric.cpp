@@ -3,6 +3,7 @@
 #include <string>
 
 #include "net/nic.hpp"
+#include "obs/journal.hpp"
 #include "obs/msgtrace.hpp"
 
 namespace narma::net {
@@ -156,6 +157,9 @@ Time Fabric::reserve_transfer(int src, int dst, Time t_issue,
       // Transient NIC stall: the channel is held busy before this injection.
       c.next_free = std::max(c.next_free, issue) + f.stall;
       ++counters_.nic_stalls;
+      if (journal_)
+        journal_->append(obs::JournalKind::kFaultStall, issue, src, dst,
+                         static_cast<std::uint64_t>(f.stall));
     }
     const Time start = std::max(issue, c.next_free);
     const Time serialization =
@@ -164,6 +168,9 @@ Time Fabric::reserve_transfer(int src, int dst, Time t_issue,
     const Time inject_end = start + serialization;
     c.next_free = inject_end;
     deliver = inject_end + tt.L + f.extra_delay;
+    if (f.extra_delay > 0 && journal_)
+      journal_->append(obs::JournalKind::kFaultJitter, inject_end, src, dst,
+                       static_cast<std::uint64_t>(f.extra_delay));
     if (fi) {
       // FIFO clamp: delay jitter must not reorder a channel. Consumers rely
       // on in-order delivery (a notification issued after its payload must
@@ -198,6 +205,10 @@ Time Fabric::reserve_transfer(int src, int dst, Time t_issue,
     // delivery time and retransmits after a backoff.
     ++counters_.drops;
     ++counters_.retries;
+    if (journal_)
+      journal_->append(obs::JournalKind::kFaultDrop, deliver, src, dst,
+                       static_cast<std::uint64_t>(bytes),
+                       static_cast<std::uint64_t>(attempt));
     issue = deliver + params_.faults.backoff(attempt);
     if (msg && msgtrace_)
       msgtrace_->hop(msg, src, obs::HopKind::kRetry, issue);

@@ -41,6 +41,7 @@
 #include "sim/trace.hpp"
 
 namespace narma::obs {
+class Journal;
 class MsgTrace;
 }
 
@@ -184,6 +185,12 @@ class Fabric {
   obs::MsgTrace* msgtrace() const { return msgtrace_; }
   void set_msgtrace(obs::MsgTrace* mt) { msgtrace_ = mt; }
 
+  /// Optional anomaly journal (src/obs/journal): the fault injector's
+  /// transfer faults and the NICs' backpressure episodes append typed
+  /// records here. nullptr (default) disables — one branch per site.
+  obs::Journal* journal() const { return journal_; }
+  void set_journal(obs::Journal* j) { journal_ = j; }
+
   /// Optional host-time phase profiler (DESIGN.md §12): the fabric opens a
   /// kTransfer scope around channel reservation, and the per-rank layers
   /// reach it through here for their own scopes.
@@ -253,6 +260,7 @@ class Fabric {
   obs::Registry* metrics_ = nullptr;
   obs::MsgTrace* msgtrace_ = nullptr;
   obs::Profiler* profiler_ = nullptr;
+  obs::Journal* journal_ = nullptr;
   std::vector<RankNetMetrics> rank_metrics_;  // one per rank; empty if off
 };
 

@@ -1,7 +1,9 @@
 #include "net/nic.hpp"
 
 #include <bit>
+#include <type_traits>
 
+#include "obs/journal.hpp"
 #include "obs/msgtrace.hpp"
 
 namespace narma::net {
@@ -175,6 +177,21 @@ void Nic::graceful_deliver(T entry, RingBuffer<T>& q, Spill<T>& sp,
   if (entry.msg)
     if (auto* mt = fabric_.msgtrace())
       mt->hop(entry.msg, rank(), obs::HopKind::kRetry, entry.time);
+  if (auto* j = fabric_.journal()) {
+    std::uint64_t qid;
+    if constexpr (std::is_same_v<T, Cqe>)
+      qid = static_cast<std::uint64_t>(FlowControl::Queue::kDestCq);
+    else if constexpr (std::is_same_v<T, ShmNotification>)
+      qid = static_cast<std::uint64_t>(FlowControl::Queue::kShmRing);
+    else
+      qid = static_cast<std::uint64_t>(FlowControl::Queue::kMailbox);
+    if (forced)
+      j->append(obs::JournalKind::kPressure, entry.time, rank(), -1, qid);
+    else
+      j->append(obs::JournalKind::kOverflowSpill, entry.time, rank(), -1,
+                static_cast<std::uint64_t>(q.size()),
+                static_cast<std::uint64_t>(sp.entries.size() + 1));
+  }
   const Time t = entry.time + fabric_.params().faults.backoff(0);
   sp.entries.push_back(std::move(entry));
   if (!sp.scheduled) {
@@ -240,6 +257,12 @@ void Nic::acquire_credit(int target, FlowControl::Queue q, std::uint64_t msg) {
     ++attempt;
     if (fc.try_acquire(target, q)) break;
   }
+  // One record per stall episode (not per wait), stamped when the credit
+  // finally arrives; `b` carries how many backoff waits it took.
+  if (auto* j = fabric_.journal())
+    j->append(obs::JournalKind::kCreditStall, ctx_.now(), rank(), target,
+              static_cast<std::uint64_t>(q),
+              static_cast<std::uint64_t>(attempt));
   // The op was delayed by backpressure; fold the stall into its lifecycle.
   if (msg)
     if (auto* mt = fabric_.msgtrace())

@@ -39,7 +39,18 @@
 // residuals mean congestion, faults, or multi-leg notification overhead
 // the base model does not carry; rows past ObsParams::residual_threshold
 // are flagged. Both surface in the narma.timeseries.v1 JSON
-// (World::dump_timeseries) and render via `narma_cli timeline`.
+// (World::dump_timeseries) and render via `narma_cli timeline`. When an
+// anomaly Journal is attached (set_journal), each window's worst straggler
+// is also appended there as a typed record.
+//
+// Aggregate observability mode (DESIGN.md §14): windows store one RankAgg
+// summary (sums, active count, busy-fraction median/min, straggler count)
+// plus exact deltas for the registry's sampled ranks instead of an
+// O(nranks) RankDelta vector, and cell deltas are keyed by the registry's
+// aggregate rows (shard cells carry negative pseudo-ranks). Telescoping
+// still holds exactly: summing a counter/histogram family's deltas over
+// every row and window equals its narma.metrics.v2 aggregate total. Dense
+// mode output is bit-identical to before this mode existed.
 #pragma once
 
 #include <cstdint>
@@ -57,6 +68,8 @@ class Engine;
 
 namespace narma::obs {
 
+class Journal;
+
 class TimeSeries {
  public:
   /// Per-rank virtual-time advance inside one window.
@@ -67,19 +80,42 @@ class TimeSeries {
 
   /// One changed metric cell. Meaning of (a, b) by family kind:
   /// counter: (delta count, 0); gauge: (level, high_water) at the window
-  /// end (int64 bit-cast); histogram: (delta count, delta sum).
+  /// end (int64 bit-cast); histogram: (delta count, delta sum). `rank` is
+  /// negative (-1 - shard) for aggregate-mode shard cells.
   struct CellDelta {
     std::uint32_t family = 0;
-    std::uint16_t rank = 0;
+    std::int32_t rank = 0;
     std::uint64_t a = 0;
     std::uint64_t b = 0;
+  };
+
+  /// Aggregate-mode per-window rank summary: what survives when the
+  /// O(nranks) RankDelta vector is folded down. median/min are computed at
+  /// snapshot time; merged windows carry a merged-count-weighted average
+  /// median (documented approximation — sums and counts stay exact).
+  struct RankAgg {
+    Time d_total_sum = 0;
+    Time d_blocked_sum = 0;
+    std::uint32_t active = 0;      // ranks that advanced in this window
+    std::uint32_t stragglers = 0;  // active ranks below median - threshold
+    double median_busy = 0;
+    double min_busy = 0;
+    std::int32_t min_rank = -1;    // rank with the lowest busy fraction
+  };
+
+  /// Aggregate-mode exact delta for one sampled rank.
+  struct SampledRankDelta {
+    std::int32_t rank = 0;
+    RankDelta d;
   };
 
   struct Window {
     Time t_begin = 0;
     Time t_end = 0;
     std::uint32_t merged = 1;  // raw snapshots folded into this window
-    std::vector<RankDelta> ranks;
+    std::vector<RankDelta> ranks;           // dense mode only
+    RankAgg agg;                            // aggregate mode only
+    std::vector<SampledRankDelta> sampled;  // aggregate mode only
     std::vector<CellDelta> cells;
   };
 
@@ -127,6 +163,11 @@ class TimeSeries {
 
   void set_residuals(std::vector<ResidualRow> rows);
 
+  /// Attaches an anomaly journal: each snapshot appends at most one
+  /// straggler record (the window's worst rank, when it crosses the
+  /// threshold). nullptr detaches.
+  void set_journal(Journal* j) { journal_ = j; }
+
   // --- Introspection --------------------------------------------------------
 
   std::uint64_t snapshots() const { return snapshots_; }
@@ -162,11 +203,13 @@ class TimeSeries {
   Time window_ps_;
   std::size_t capacity_;
   double straggler_threshold_;
+  bool aggregate_ = false;
+  Journal* journal_ = nullptr;
 
   Time last_boundary_ = 0;
   std::vector<FamilyInfo> families_;
   std::map<std::string, std::uint32_t> family_idx_;
-  std::vector<std::vector<CellBase>> base_;  // [family][rank]
+  std::vector<std::vector<CellBase>> base_;  // [family][row]
   std::vector<RankDelta> rank_base_;         // absolute totals, reused type
   std::vector<Window> windows_;
   std::vector<ResidualRow> residuals_;

@@ -34,10 +34,20 @@ inline std::uint64_t fnv_fold(std::uint64_t h, std::uint64_t v) {
   return h;
 }
 
+/// Registry-layout override for the observability property tests. kNone
+/// leaves the seeded draw alone (the golden-hash configuration); the other
+/// two force metrics on and pin the layout, *after* the draw — the RNG
+/// consumes the same values in all three variants, so every virtual time
+/// is identical and dense vs aggregate runs of one seed hash equal.
+enum class ObsOverride { kNone, kDense, kAggregate };
+
 /// One randomized schedule: ranks 1..n-1 produce notified accesses into
 /// rank 0's window; rank 0 consumes them all with a wildcard counting
 /// request. Returns the FNV fold of per-rank finish times and counters.
-inline std::uint64_t schedule_hash(std::uint64_t seed) {
+/// `inspect` runs on the finished world before it is torn down.
+template <class Inspect>
+inline std::uint64_t schedule_hash_with(std::uint64_t seed, ObsOverride ov,
+                                        Inspect&& inspect) {
   Xoshiro256 rng(seed * 0x9e3779b97f4a7c15ull + 1);
 
   const int nranks = 2 + static_cast<int>(rng.next_below(4));  // 2..5
@@ -52,6 +62,17 @@ inline std::uint64_t schedule_hash(std::uint64_t seed) {
                                     : na::Matcher::kLinear;
   wp.na.enable_shm_inline = rng.next_below(4) != 0;
   wp.enable_metrics = rng.next_below(2) != 0;
+  if (ov != ObsOverride::kNone) {
+    wp.enable_metrics = true;
+    wp.obs.obs_mode = ov == ObsOverride::kAggregate ? obs::ObsMode::kAggregate
+                                                    : obs::ObsMode::kDense;
+    // Shards below the largest drawn rank count and a short sample stride
+    // so both the sharded and the exact-sampled paths are exercised even
+    // at 2..5 ranks.
+    wp.obs.obs_shards = 2;
+    wp.obs.sample_ranks = 2;
+    wp.obs.outlier_k = 3;
+  }
 
   // Per-producer op plans, drawn up front so rank threads never share RNG
   // state. kind: 0 = put_notify, 1 = get_notify, 2 = fetch_add_notify.
@@ -122,7 +143,12 @@ inline std::uint64_t schedule_hash(std::uint64_t seed) {
   hash = fnv_fold(hash, fc.acks);
   hash = fnv_fold(hash, fc.notifications);
   hash = fnv_fold(hash, fc.bytes_on_wire);
+  inspect(world);
   return hash;
+}
+
+inline std::uint64_t schedule_hash(std::uint64_t seed) {
+  return schedule_hash_with(seed, ObsOverride::kNone, [](World&) {});
 }
 
 inline constexpr std::uint64_t kGoldenScheduleCount = 1000;

@@ -16,6 +16,13 @@ baseline (bench/BENCH_scale.json):
     (default 5 minutes): 4096 simulated ranks must stay interactive on one
     core, not merely terminate.
 
+Observability-cost gate (DESIGN.md §14): when the current run carries the
+stencil_obs0 / stencil_obs pair, the --obs-* flags compare the two rows of
+the *same* run (no committed baseline, so host speed cancels out): at every
+gated rank count the full aggregate observability stack must cost at most
+--obs-wall-factor in wall clock and --obs-rss-delta-mib of extra RSS over
+the observability-off row.
+
 Exit status 0 on pass, 1 on any violation, 2 on malformed input.
 """
 
@@ -61,6 +68,19 @@ def main():
                     help="hard wall-clock ceiling per current row")
     ap.add_argument("--min-ranks", type=int, default=256,
                     help="rows below this rank count are informational only")
+    ap.add_argument("--obs-app", default=None,
+                    help="app name of the observability-on rows "
+                         "(e.g. stencil_obs); enables the obs-cost gate")
+    ap.add_argument("--obs-base-app", default="stencil_obs0",
+                    help="app name of the observability-off rows")
+    ap.add_argument("--obs-wall-factor", type=float, default=1.10,
+                    help="allowed wall-clock factor of obs-on over obs-off")
+    ap.add_argument("--obs-rss-delta-mib", type=float, default=32.0,
+                    help="allowed extra peak RSS (MiB) of obs-on over "
+                         "obs-off")
+    ap.add_argument("--obs-min-ranks", type=int, default=4096,
+                    help="obs rows below this rank count are informational "
+                         "only (small runs are noise-dominated)")
     args = ap.parse_args()
 
     try:
@@ -97,6 +117,39 @@ def main():
         print(f"{app:8s} {ranks:>5d}  Mev/s {cur_meps:6.2f} "
               f"(floor {floor:5.2f})  RSS {cur_rss:7.1f} MiB "
               f"(ceiling {ceiling:7.1f})  wall {cur_wall:9.1f} ms  {verdict}")
+
+    if args.obs_app:
+        on_rows = {r: v for (a, r), v in cur.items() if a == args.obs_app}
+        off_rows = {r: v for (a, r), v in cur.items()
+                    if a == args.obs_base_app}
+        if not on_rows or not off_rows:
+            print(f"error: current run lacks {args.obs_app}/"
+                  f"{args.obs_base_app} rows for the obs-cost gate",
+                  file=sys.stderr)
+            ok = False
+        for ranks in sorted(on_rows):
+            if ranks not in off_rows:
+                print(f"error: no {args.obs_base_app} row at {ranks} ranks",
+                      file=sys.stderr)
+                ok = False
+                continue
+            _, on_rss, on_wall = on_rows[ranks]
+            _, off_rss, off_wall = off_rows[ranks]
+            gated = ranks >= args.obs_min_ranks
+            factor = on_wall / off_wall if off_wall > 0 else float("inf")
+            delta = on_rss - off_rss
+            verdict = "ok" if gated else "info only"
+            if factor > args.obs_wall_factor:
+                verdict = "OBS REGRESSION (wall)" if gated \
+                    else "over wall factor (info only)"
+                ok = ok and not gated
+            if delta > args.obs_rss_delta_mib and gated:
+                verdict = "OBS REGRESSION (RSS)"
+                ok = False
+            print(f"obs-cost {ranks:>5d}  wall x{factor:5.3f} "
+                  f"(limit x{args.obs_wall_factor:.2f})  "
+                  f"RSS +{delta:6.1f} MiB "
+                  f"(limit +{args.obs_rss_delta_mib:.1f})  {verdict}")
 
     return 0 if ok else 1
 

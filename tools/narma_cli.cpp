@@ -14,6 +14,7 @@
 // busy fractions.
 #include <algorithm>
 #include <cstdio>
+#include <cmath>
 #include <cstring>
 #include <map>
 #include <string>
@@ -33,6 +34,7 @@ using namespace narma;
 struct Args {
   std::string command;
   std::map<std::string, std::string> kv;
+  std::vector<std::string> positional;
 
   long get(const std::string& key, long fallback) const {
     auto it = kv.find(key);
@@ -49,7 +51,10 @@ Args parse(int argc, char** argv) {
   if (argc > 1) a.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string s = argv[i];
-    if (s.rfind("--", 0) != 0) continue;
+    if (s.rfind("--", 0) != 0) {
+      a.positional.push_back(std::move(s));
+      continue;
+    }
     const auto eq = s.find('=');
     if (eq == std::string::npos) {
       a.kv[s.substr(2)] = "1";
@@ -78,7 +83,8 @@ int usage() {
       "            busy fractions, host-time phase attribution\n"
       "            (obs.phase_* gauges from --profile runs), per-backend\n"
       "            notification + drain-cost rows, histogram percentiles\n"
-      "  timeline  --timeseries=FILE [--perfetto=FILE] [--top=N]\n"
+      "  timeline  --timeseries=FILE [--journal=FILE] [--perfetto=FILE]\n"
+      "            [--top=N]\n"
       "            analyze a flight-recorder dump: per-window rank activity,\n"
       "            busiest counter families, model-residual rows, flagged\n"
       "            anomalies; --perfetto writes counter tracks for Perfetto\n"
@@ -86,6 +92,10 @@ int usage() {
       "            analyze a causal message trace: critical-path category\n"
       "            breakdown, per-rank share, slowest messages, per-\n"
       "            category latency statistics\n"
+      "  diff      <a.json> <b.json> [--top=N]\n"
+      "            compare two metrics dumps (narma.metrics.v1 or .v2):\n"
+      "            per-family reduced values, absolute + relative deltas,\n"
+      "            top regressions, families added/removed\n"
       "\n"
       "common:     [--transport=aries|ramc|verbs]  inter-node backend\n"
       "                               (default aries; or env NARMA_TRANSPORT)\n"
@@ -97,7 +107,15 @@ int usage() {
       "                               time-series dump (narma.timeseries.v1)\n"
       "            [--timeseries-window-us=N]  snapshot cadence (default 100)\n"
       "            [--profile]        host-time phase profiling; results land\n"
-      "                               in the metrics dump as obs.phase_*\n",
+      "                               in the metrics dump as obs.phase_*\n"
+      "            [--journal=FILE]   write the anomaly journal\n"
+      "                               (narma.journal.v1)\n"
+      "            [--obs=dense|aggregate]  registry layout (NARMA_OBS);\n"
+      "                               aggregate = O(shards) cells per family\n"
+      "                               + top-k outliers + sampled ranks\n"
+      "            [--obs-shards=N] [--obs-outlier-k=N]\n"
+      "            [--obs-sample-ranks=N] [--obs-gauge-rank-limit=N]\n"
+      "            [--journal-cap=N]  aggregate-mode / journal knobs\n",
       stderr);
   return 2;
 }
@@ -115,6 +133,31 @@ void apply_transport(WorldParams& wp, const Args& a) {
     wp.fabric.inter_node = net::BackendKind::kVerbs;
   else
     NARMA_FATAL("unknown --transport value") << " \"" << t << '"';
+}
+
+/// Applies the aggregate-observability flags. Mirrors the NARMA_OBS* env
+/// knobs; a set env var still wins (resolve_params reads env last), so
+/// sweeps driven by either mechanism behave the same.
+void apply_obs_params(WorldParams& wp, const Args& a) {
+  const std::string mode = a.get("obs", "");
+  if (mode == "dense")
+    wp.obs.obs_mode = obs::ObsMode::kDense;
+  else if (mode == "aggregate")
+    wp.obs.obs_mode = obs::ObsMode::kAggregate;
+  else if (!mode.empty())
+    NARMA_FATAL("unknown --obs value") << " \"" << mode << '"';
+  if (a.kv.count("obs-shards"))
+    wp.obs.obs_shards = static_cast<int>(a.get("obs-shards", 0));
+  if (a.kv.count("obs-outlier-k"))
+    wp.obs.outlier_k = static_cast<int>(a.get("obs-outlier-k", 0));
+  if (a.kv.count("obs-sample-ranks"))
+    wp.obs.sample_ranks = static_cast<int>(a.get("obs-sample-ranks", 0));
+  if (a.kv.count("obs-gauge-rank-limit"))
+    wp.obs.perfetto_gauge_rank_limit =
+        static_cast<int>(a.get("obs-gauge-rank-limit", 0));
+  if (a.kv.count("journal-cap"))
+    wp.obs.journal_capacity =
+        static_cast<std::size_t>(std::max(0L, a.get("journal-cap", 0)));
 }
 
 /// Enables the observability sinks a run asked for (call before run()).
@@ -141,9 +184,142 @@ void dump_artifacts(World& world, const Args& a) {
     world.dump_msgtrace(a.get("msgtrace", "msgtrace.json"));
   if (a.kv.count("timeseries"))
     world.dump_timeseries(a.get("timeseries", "timeseries.json"));
+  if (a.kv.count("journal"))
+    world.dump_journal(a.get("journal", "journal.json"));
 }
 
 // --- report ------------------------------------------------------------------
+
+/// Prints the obs self-cost line shared by both schema paths: the registry
+/// footprint gauge plus the journal depth, when the run recorded them.
+void print_obs_footprint(double registry_bytes, double journal_depth) {
+  if (registry_bytes <= 0 && journal_depth <= 0) return;
+  std::printf("\nobs self-cost: registry ~%.1f KiB, journal depth %lld\n",
+              registry_bytes / 1024.0,
+              static_cast<long long>(journal_depth));
+}
+
+/// Aggregate-mode (narma.metrics.v2) sections of `report`: whole-family
+/// reductions per kind, top-k outlier ranks, and the sampled-rank busy
+/// table that replaces the dense per-rank one.
+int report_metrics_v2(const json::Value& doc, const std::string& path) {
+  const json::Array& fams = doc["metrics"].as_array();
+  std::printf(
+      "\naggregate metrics %s: %d ranks, %d shards, %zu sampled ranks, "
+      "outlier_k=%lld, %zu families\n",
+      path.c_str(), static_cast<int>(doc.number_or("nranks", 0)),
+      static_cast<int>(doc.number_or("shards", 0)),
+      doc["sample_ranks"].as_array().size(),
+      static_cast<long long>(doc.number_or("outlier_k", 0)), fams.size());
+
+  auto find_fam = [&](const std::string& name) -> const json::Value& {
+    static const json::Value kNull;
+    for (const json::Value& fam : fams)
+      if (fam.string_or("name", "") == name) return fam;
+    return kNull;
+  };
+
+  // Whole-family reductions, one table per kind. These are exact — shard
+  // cells plus sampled cells partition every update (see obs/metrics.hpp).
+  Table c_table({"counter", "sum", "active_ranks", "max_rank_total"});
+  Table g_table({"gauge", "last", "high_water"});
+  Table h_table({"histogram", "count", "p50", "p90", "p99", "max"});
+  bool any_c = false, any_g = false, any_h = false;
+  for (const json::Value& fam : fams) {
+    const std::string kind = fam.string_or("kind", "");
+    const json::Value& ag = fam["aggregate"];
+    if (kind == "counter") {
+      any_c = true;
+      c_table.add_row(
+          {fam.string_or("name", "?"),
+           Table::fmt(static_cast<long long>(ag.number_or("sum", 0))),
+           Table::fmt(static_cast<long long>(ag.number_or("active_ranks", 0))),
+           Table::fmt(static_cast<long long>(ag.number_or("max", 0)))});
+    } else if (kind == "gauge") {
+      any_g = true;
+      g_table.add_row(
+          {fam.string_or("name", "?"),
+           Table::fmt(static_cast<long long>(ag.number_or("last", 0))),
+           Table::fmt(static_cast<long long>(ag.number_or("high_water", 0)))});
+    } else if (kind == "histogram") {
+      any_h = true;
+      h_table.add_row(
+          {fam.string_or("name", "?"),
+           Table::fmt(static_cast<long long>(ag.number_or("count", 0))),
+           Table::fmt(ag.number_or("p50", 0)), Table::fmt(ag.number_or("p90", 0)),
+           Table::fmt(ag.number_or("p99", 0)),
+           Table::fmt(static_cast<long long>(ag.number_or("max", 0)))});
+    }
+  }
+  if (any_c) {
+    std::printf("\ncounters (whole-family, exact):\n");
+    c_table.print();
+  }
+  if (any_g) {
+    std::printf("\ngauges (last-wins / global high-water):\n");
+    g_table.print();
+  }
+  if (any_h) {
+    std::printf("\nhistograms (merged buckets):\n");
+    h_table.print();
+  }
+
+  // Top-k outlier ranks per family (value-ordered in the dump).
+  {
+    Table o_table({"family", "top ranks (rank:value)"});
+    bool any = false;
+    for (const json::Value& fam : fams) {
+      const json::Array& out = fam["outliers"].as_array();
+      if (out.empty()) continue;
+      any = true;
+      std::string cells;
+      for (const json::Value& o : out) {
+        if (!cells.empty()) cells += "  ";
+        cells += Table::fmt(static_cast<long long>(o.number_or("rank", -1)));
+        cells += ':';
+        cells += Table::fmt(static_cast<long long>(o.number_or("value", 0)));
+      }
+      o_table.add_row({fam.string_or("name", "?"), cells});
+    }
+    if (any) {
+      std::printf("\noutlier retention (top-k ranks by running max):\n");
+      o_table.print();
+    }
+  }
+
+  // Sampled-rank busy fractions: the aggregate-mode stand-in for the dense
+  // per-rank table, built from the exact cells of the sample reservoir.
+  {
+    const json::Value& busy = find_fam("sim.busy_ns")["sampled"];
+    const json::Value& blocked = find_fam("sim.blocked_ns")["sampled"];
+    const json::Value& total = find_fam("sim.total_ns")["sampled"];
+    if (busy.is_array() && total.is_array() &&
+        busy.as_array().size() == total.as_array().size()) {
+      Table busy_table(
+          {"rank", "busy_ms", "blocked_ms", "total_ms", "busy_frac"});
+      const json::Array& ba = busy.as_array();
+      const json::Array& ta = total.as_array();
+      for (std::size_t i = 0; i < ba.size(); ++i) {
+        const double b = ba[i].number_or("value", 0);
+        const double w = blocked.is_array() && i < blocked.as_array().size()
+                             ? blocked.as_array()[i].number_or("value", 0)
+                             : 0.0;
+        const double t = ta[i].number_or("value", 0);
+        busy_table.add_row(
+            {Table::fmt(static_cast<long long>(ba[i].number_or("rank", -1))),
+             Table::fmt(b / 1e6), Table::fmt(w / 1e6), Table::fmt(t / 1e6),
+             Table::fmt(t > 0 ? b / t : 0.0)});
+      }
+      std::printf("\nsampled-rank busy fraction:\n");
+      busy_table.print();
+    }
+  }
+
+  print_obs_footprint(
+      find_fam("obs.registry_bytes")["aggregate"].number_or("high_water", 0),
+      find_fam("obs.journal_depth")["aggregate"].number_or("high_water", 0));
+  return 0;
+}
 
 /// Metrics-dump sections of `report`: per-rank busy fractions, host-time
 /// phase attribution (from --profile runs), per-backend notification and
@@ -156,10 +332,12 @@ int report_metrics(const Args& a) {
                  m.error.c_str(), m.error_pos);
     return 1;
   }
-  if (m.value.string_or("schema", "") != "narma.metrics.v1") {
+  const std::string schema = m.value.string_or("schema", "");
+  if (schema == "narma.metrics.v2")
+    return report_metrics_v2(m.value, metrics_path);
+  if (schema != "narma.metrics.v1") {
     std::fprintf(stderr, "report: %s: unknown metrics schema '%s'\n",
-                 metrics_path.c_str(),
-                 m.value.string_or("schema", "").c_str());
+                 metrics_path.c_str(), schema.c_str());
     return 1;
   }
   const int nranks = static_cast<int>(m.value.number_or("nranks", 0));
@@ -293,6 +471,17 @@ int report_metrics(const Args& a) {
       h_table.print();
     }
   }
+
+  // Obs self-cost gauges (rank 0 carries them in dense mode).
+  {
+    auto hw0 = [&](const std::string& name) -> double {
+      const json::Value& pr = per_rank_of(name);
+      return pr.is_array() && !pr.as_array().empty()
+                 ? pr.as_array()[0].number_or("high_water", 0)
+                 : 0.0;
+    };
+    print_obs_footprint(hw0("obs.registry_bytes"), hw0("obs.journal_depth"));
+  }
   return 0;
 }
 
@@ -419,6 +608,134 @@ int run_report(const Args& a) {
   // Metrics-dump sections (busy fractions, phase attribution, backends,
   // histogram percentiles).
   if (a.kv.count("metrics")) return report_metrics(a);
+  return 0;
+}
+
+// --- diff --------------------------------------------------------------------
+
+/// One family of a metrics dump reduced to a single comparable number:
+/// counters to the whole-family sum, gauges to the global high-water,
+/// histograms to the total sample count. Both schemas reduce to the same
+/// quantity — v1 by folding per_rank, v2 by reading the aggregate section —
+/// so dense and aggregate dumps of the same run diff as equal.
+struct ReducedFamily {
+  std::string kind;
+  double value = 0;
+};
+
+bool reduce_metrics(const json::Value& doc,
+                    std::map<std::string, ReducedFamily>& out,
+                    std::string& err) {
+  const std::string schema = doc.string_or("schema", "");
+  if (schema != "narma.metrics.v1" && schema != "narma.metrics.v2") {
+    err = "unknown metrics schema '" + schema + "'";
+    return false;
+  }
+  const bool v2 = schema == "narma.metrics.v2";
+  for (const json::Value& fam : doc["metrics"].as_array()) {
+    const std::string name = fam.string_or("name", "?");
+    ReducedFamily red;
+    red.kind = fam.string_or("kind", "?");
+    if (v2) {
+      const json::Value& ag = fam["aggregate"];
+      red.value = red.kind == "counter" ? ag.number_or("sum", 0)
+                  : red.kind == "gauge" ? ag.number_or("high_water", 0)
+                                        : ag.number_or("count", 0);
+    } else {
+      for (const json::Value& cell : fam["per_rank"].as_array()) {
+        if (red.kind == "counter")
+          red.value += cell.number_or("value", 0);
+        else if (red.kind == "gauge")
+          red.value = std::max(red.value, cell.number_or("high_water", 0));
+        else
+          red.value += cell.number_or("count", 0);
+      }
+    }
+    out[name] = std::move(red);
+  }
+  return true;
+}
+
+int run_diff(const Args& a) {
+  if (a.positional.size() != 2) {
+    std::fputs("diff: exactly two metrics dumps required: "
+               "narma_cli diff <a.json> <b.json> [--top=N]\n",
+               stderr);
+    return 2;
+  }
+  const auto topk = static_cast<std::size_t>(a.get("top", 15));
+  std::map<std::string, ReducedFamily> base, cur;
+  for (int side = 0; side < 2; ++side) {
+    const std::string& path = a.positional[static_cast<std::size_t>(side)];
+    const json::ParseResult doc = json::parse_file(path);
+    if (!doc.ok) {
+      std::fprintf(stderr, "diff: %s: %s (offset %zu)\n", path.c_str(),
+                   doc.error.c_str(), doc.error_pos);
+      return 1;
+    }
+    std::string err;
+    if (!reduce_metrics(doc.value, side ? cur : base, err)) {
+      std::fprintf(stderr, "diff: %s: %s\n", path.c_str(), err.c_str());
+      return 1;
+    }
+  }
+
+  struct Row {
+    std::string name, kind;
+    double a, b, delta, rel;
+  };
+  std::vector<Row> rows;
+  std::vector<std::string> added, removed;
+  std::size_t unchanged = 0;
+  for (const auto& [name, rb] : base) {
+    auto it = cur.find(name);
+    if (it == cur.end()) {
+      removed.push_back(name);
+      continue;
+    }
+    const double d = it->second.value - rb.value;
+    if (d == 0) {
+      ++unchanged;
+      continue;
+    }
+    const double denom = std::max(std::abs(rb.value), 1.0);
+    rows.push_back({name, rb.kind, rb.value, it->second.value, d,
+                    d / denom});
+  }
+  for (const auto& [name, rc] : cur)
+    if (!base.count(name)) added.push_back(name);
+
+  std::printf(
+      "diff %s -> %s: %zu families compared, %zu changed, %zu unchanged, "
+      "%zu added, %zu removed\n",
+      a.positional[0].c_str(), a.positional[1].c_str(),
+      base.size() - removed.size(), rows.size(), unchanged, added.size(),
+      removed.size());
+
+  // Largest movers by relative delta (ties broken by absolute delta) —
+  // the regression shortlist for sweep comparisons.
+  std::sort(rows.begin(), rows.end(), [](const Row& x, const Row& y) {
+    const double rx = std::abs(x.rel), ry = std::abs(y.rel);
+    if (rx != ry) return rx > ry;
+    const double dx = std::abs(x.delta), dy = std::abs(y.delta);
+    if (dx != dy) return dx > dy;
+    return x.name < y.name;
+  });
+  if (!rows.empty()) {
+    Table d_table({"family", "kind", "base", "new", "delta", "delta%"});
+    for (std::size_t i = 0; i < std::min(topk, rows.size()); ++i) {
+      const Row& r = rows[i];
+      d_table.add_row({r.name, r.kind, Table::fmt(r.a), Table::fmt(r.b),
+                       Table::fmt(r.delta), Table::fmt(100.0 * r.rel, 1)});
+    }
+    std::printf("\ntop %zu movers (by relative delta):\n",
+                std::min(topk, rows.size()));
+    d_table.print();
+  }
+  for (const std::string& n : added)
+    std::printf("added:   %s\n", n.c_str());
+  for (const std::string& n : removed)
+    std::printf("removed: %s\n", n.c_str());
   return 0;
 }
 
@@ -575,9 +892,61 @@ int run_critpath(const Args& a) {
 
 // --- timeline ----------------------------------------------------------------
 
+/// Prints an anomaly-journal dump (narma.journal.v1): the bounded,
+/// virtual-time-ordered record of faults, backpressure episodes, overflow
+/// spills, stragglers, and model-residual flags.
+int print_journal(const Args& a) {
+  const std::string path = a.get("journal", "journal.json");
+  const json::ParseResult doc = json::parse_file(path);
+  if (!doc.ok) {
+    std::fprintf(stderr, "timeline: %s: %s (offset %zu)\n", path.c_str(),
+                 doc.error.c_str(), doc.error_pos);
+    return 1;
+  }
+  if (doc.value.string_or("schema", "") != "narma.journal.v1") {
+    std::fprintf(stderr, "timeline: %s: unknown journal schema '%s'\n",
+                 path.c_str(), doc.value.string_or("schema", "").c_str());
+    return 1;
+  }
+  const json::Array& records = doc.value["records"].as_array();
+  std::printf(
+      "\njournal %s: %lld appended, %lld dropped (capacity %lld), "
+      "%zu retained\n",
+      path.c_str(), static_cast<long long>(doc.value.number_or("appended", 0)),
+      static_cast<long long>(doc.value.number_or("dropped", 0)),
+      static_cast<long long>(doc.value.number_or("capacity", 0)),
+      records.size());
+  if (records.empty()) {
+    std::printf("journal: clean run (no anomalies recorded)\n");
+    return 0;
+  }
+  Table j_table({"t_us", "kind", "rank", "peer", "detail"});
+  for (const json::Value& r : records)
+    j_table.add_row({Table::fmt(r.number_or("t_ps", 0) / 1e6),
+                     r.string_or("kind", "?"),
+                     Table::fmt(static_cast<long long>(r.number_or("rank", -1))),
+                     Table::fmt(static_cast<long long>(r.number_or("peer", -1))),
+                     r.string_or("detail", "")});
+  j_table.print();
+
+  // Per-kind counts, the one-line health summary.
+  std::map<std::string, long long> by_kind;
+  for (const json::Value& r : records) ++by_kind[r.string_or("kind", "?")];
+  std::string counts;
+  for (const auto& [k, n] : by_kind) {
+    if (!counts.empty()) counts += ", ";
+    counts += k + "=" + Table::fmt(n);
+  }
+  std::printf("by kind: %s\n", counts.c_str());
+  return 0;
+}
+
 int run_timeline(const Args& a) {
   if (!a.kv.count("timeseries")) {
-    std::fputs("timeline: --timeseries=FILE is required\n", stderr);
+    if (a.kv.count("journal")) return print_journal(a);
+    std::fputs("timeline: --timeseries=FILE and/or --journal=FILE is "
+               "required\n",
+               stderr);
     return 2;
   }
   const std::string path = a.get("timeseries", "timeseries.json");
@@ -620,36 +989,65 @@ int run_timeline(const Args& a) {
     std::printf("(showing the last %zu of %zu windows; older ones are "
                 "geometrically merged)\n",
                 topk, windows.size());
-  Table win_table({"window", "t_begin_us", "t_end_us", "merged", "cells",
-                   "mean_busy", "min_busy", "laggard"});
-  for (std::size_t i = first_shown; i < windows.size(); ++i) {
-    const json::Value& win = windows[i];
-    const json::Array& ranks = win["ranks"].as_array();
-    double busy_sum = 0, busy_min = 2.0;
-    long long laggard = -1;
-    std::size_t active = 0;
-    for (const json::Value& r : ranks) {
-      const double tot = r.number_or("total_ps", 0);
-      if (tot <= 0) continue;
-      const double f = r.number_or("busy_ps", 0) / tot;
-      busy_sum += f;
-      ++active;
-      if (f < busy_min) {
-        busy_min = f;
-        laggard = static_cast<long long>(r.number_or("rank", -1));
-      }
+  const bool aggregate =
+      doc.value.string_or("obs_mode", "dense") == "aggregate";
+  if (aggregate) {
+    // Aggregate recorder windows carry whole-run rank sums (rank_agg) and
+    // exact deltas only for the sampled ranks; the mean busy fraction is
+    // the time-weighted one (busy_ps_sum / total_ps_sum).
+    Table win_table({"window", "t_begin_us", "t_end_us", "merged", "cells",
+                     "active", "mean_busy", "min_busy", "laggard",
+                     "stragglers"});
+    for (std::size_t i = first_shown; i < windows.size(); ++i) {
+      const json::Value& win = windows[i];
+      const json::Value& ag = win["rank_agg"];
+      const double tot = ag.number_or("total_ps_sum", 0);
+      win_table.add_row(
+          {Table::fmt(static_cast<long long>(i)),
+           Table::fmt(win.number_or("t_begin_ps", 0) / 1e6),
+           Table::fmt(win.number_or("t_end_ps", 0) / 1e6),
+           Table::fmt(static_cast<long long>(win.number_or("merged", 1))),
+           Table::fmt(win["cells"].as_array().size()),
+           Table::fmt(static_cast<long long>(ag.number_or("active", 0))),
+           Table::fmt(tot > 0 ? ag.number_or("busy_ps_sum", 0) / tot : 0.0),
+           Table::fmt(ag.number_or("min_busy", 0)),
+           Table::fmt(static_cast<long long>(ag.number_or("min_rank", -1))),
+           Table::fmt(static_cast<long long>(ag.number_or("stragglers", 0)))});
     }
-    win_table.add_row(
-        {Table::fmt(static_cast<long long>(i)),
-         Table::fmt(win.number_or("t_begin_ps", 0) / 1e6),
-         Table::fmt(win.number_or("t_end_ps", 0) / 1e6),
-         Table::fmt(static_cast<long long>(win.number_or("merged", 1))),
-         Table::fmt(win["cells"].as_array().size()),
-         Table::fmt(active ? busy_sum / static_cast<double>(active) : 0.0),
-         Table::fmt(active ? busy_min : 0.0), Table::fmt(laggard)});
+    std::printf("\nper-window rank activity (aggregate):\n");
+    win_table.print();
+  } else {
+    Table win_table({"window", "t_begin_us", "t_end_us", "merged", "cells",
+                     "mean_busy", "min_busy", "laggard"});
+    for (std::size_t i = first_shown; i < windows.size(); ++i) {
+      const json::Value& win = windows[i];
+      const json::Array& ranks = win["ranks"].as_array();
+      double busy_sum = 0, busy_min = 2.0;
+      long long laggard = -1;
+      std::size_t active = 0;
+      for (const json::Value& r : ranks) {
+        const double tot = r.number_or("total_ps", 0);
+        if (tot <= 0) continue;
+        const double f = r.number_or("busy_ps", 0) / tot;
+        busy_sum += f;
+        ++active;
+        if (f < busy_min) {
+          busy_min = f;
+          laggard = static_cast<long long>(r.number_or("rank", -1));
+        }
+      }
+      win_table.add_row(
+          {Table::fmt(static_cast<long long>(i)),
+           Table::fmt(win.number_or("t_begin_ps", 0) / 1e6),
+           Table::fmt(win.number_or("t_end_ps", 0) / 1e6),
+           Table::fmt(static_cast<long long>(win.number_or("merged", 1))),
+           Table::fmt(win["cells"].as_array().size()),
+           Table::fmt(active ? busy_sum / static_cast<double>(active) : 0.0),
+           Table::fmt(active ? busy_min : 0.0), Table::fmt(laggard)});
+    }
+    std::printf("\nper-window rank activity:\n");
+    win_table.print();
   }
-  std::printf("\nper-window rank activity:\n");
-  win_table.print();
 
   // Busiest counter families by total delta across all windows and ranks.
   std::map<std::string, double> fam_totals;
@@ -727,7 +1125,10 @@ int run_timeline(const Args& a) {
     char buf[256];
     for (const json::Value& win : windows) {
       const double ts_us = win.number_or("t_end_ps", 0) / 1e6;
-      for (const json::Value& r : win["ranks"].as_array()) {
+      // Aggregate windows have no dense rank array; the sampled ranks'
+      // exact deltas become the busy-fraction tracks instead.
+      for (const json::Value& r :
+           win[aggregate ? "sampled_ranks" : "ranks"].as_array()) {
         const double tot = r.number_or("total_ps", 0);
         const auto rank = static_cast<long long>(r.number_or("rank", 0));
         std::snprintf(buf, sizeof(buf),
@@ -762,6 +1163,7 @@ int run_timeline(const Args& a) {
     std::fclose(f);
     std::printf("\nwrote Perfetto counter tracks to %s\n", out_path.c_str());
   }
+  if (a.kv.count("journal")) return print_journal(a);
   return 0;
 }
 
@@ -775,6 +1177,7 @@ int run_pingpong(const Args& a) {
   WorldParams wp;
   if (a.kv.count("intranode")) wp.fabric.ranks_per_node = ranks;
   apply_transport(wp, a);
+  apply_obs_params(wp, a);
   World world(2, wp);
   enable_observability(world, a);
 
@@ -860,6 +1263,7 @@ int run_stencil(const Args& a) {
                                : apps::StencilVariant::kNotified;
   WorldParams wp;
   apply_transport(wp, a);
+  apply_obs_params(wp, a);
   World world(ranks, wp);
   enable_observability(world, a);
   apps::StencilResult res;
@@ -888,6 +1292,7 @@ int run_tree(const Args& a) {
                                 : apps::TreeVariant::kNotified;
   WorldParams wp;
   apply_transport(wp, a);
+  apply_obs_params(wp, a);
   World world(ranks, wp);
   enable_observability(world, a);
   apps::TreeResult res;
@@ -916,6 +1321,7 @@ int run_cholesky(const Args& a) {
                             : apps::CholeskyVariant::kNotified;
   WorldParams wp;
   apply_transport(wp, a);
+  apply_obs_params(wp, a);
   World world(ranks, wp);
   enable_observability(world, a);
   apps::CholeskyResult res;
@@ -943,5 +1349,6 @@ int main(int argc, char** argv) {
   if (a.command == "report") return run_report(a);
   if (a.command == "timeline") return run_timeline(a);
   if (a.command == "critpath") return run_critpath(a);
+  if (a.command == "diff") return run_diff(a);
   return usage();
 }
