@@ -38,6 +38,11 @@ struct Sample {
   std::uint64_t events = 0;
   std::uint64_t peak_rss_kb = 0;
   std::uint32_t verified = 0;
+  // Recovery legs only (zero elsewhere): the victim's fail->rejoin virtual
+  // time, the checkpoint epoch it rolled back to, and replayed entries.
+  std::uint64_t recovery_ps = 0;
+  std::uint64_t restored_epoch = 0;
+  std::uint64_t replayed = 0;
 };
 
 std::uint64_t peak_rss_kb() {
@@ -138,6 +143,71 @@ Sample run_stencil_obs_child(int nranks) {
   return run_stencil_obs_pair(nranks, true);
 }
 
+/// Recovery-time leg (DESIGN.md §15): the notified stencil under a pinned
+/// fail-stop, swept over the checkpoint interval. The fail plan is fixed —
+/// a mid-pipeline rank fails at the end of epoch kFailEpoch — so the only
+/// variable across rows is how many epochs the victim must re-run from its
+/// last partner checkpoint: interval 1 loses one epoch, interval 8 (no
+/// intermediate checkpoint) rolls clear back to epoch 0.
+constexpr int kFtIters = 8;
+constexpr std::uint64_t kFailEpoch = 6;
+constexpr double kFailRate = 0.02;
+
+/// Searches for a fault seed under which the runtime victim scan (first
+/// rank whose fail_draw fires at kFailEpoch) picks `victim`. fail_draw is a
+/// pure counter-based hash, so this agrees with the simulated plan exactly.
+std::uint64_t pin_fail_seed(int nranks, int victim) {
+  for (std::uint64_t seed = 1;; ++seed) {
+    net::FaultParams fp;
+    fp.seed = seed;
+    fp.fail_rate = kFailRate;
+    const net::FaultInjector inj(fp, nranks);
+    if (!inj.fail_draw(victim, kFailEpoch)) continue;
+    bool earlier = false;
+    for (int r = 0; r < victim && !earlier; ++r)
+      earlier = inj.fail_draw(r, kFailEpoch);
+    if (!earlier) return seed;
+  }
+}
+
+Sample run_recovery_child(int nranks, int interval) {
+  apps::StencilConfig cfg;
+  cfg.rows = 64;
+  cfg.total_cols = 2 * nranks;
+  cfg.iters = kFtIters;
+  cfg.variant = apps::StencilVariant::kNotified;
+  cfg.per_point = ns(2);
+  cfg.ft.enabled = true;
+  cfg.ft.ckpt_interval = interval;
+  cfg.ft.min_fail_epoch = kFailEpoch;
+  WorldParams wp;
+  wp.fabric.faults.fail_rate = kFailRate;
+  wp.fabric.faults.seed = pin_fail_seed(nranks, nranks / 2);
+  World world(nranks, wp);
+  apps::StencilResult res;
+  ft::FtStats victim;
+  const std::uint64_t t0 = wallclock_ns();
+  world.run([&](Rank& self) {
+    apps::StencilResult r = apps::run_stencil(self, cfg);
+    if (self.id() == 0) res = r;
+    if (r.ft.fails > 0) victim = r.ft;
+  });
+  Sample s;
+  s.wall_ns = wallclock_ns() - t0;
+  s.events = world.engine().events_executed();
+  s.peak_rss_kb = peak_rss_kb();
+  s.verified = (res.verified && victim.fails == 1) ? 1 : 0;
+  s.recovery_ps = static_cast<std::uint64_t>(victim.recovery_time);
+  s.restored_epoch = victim.restored_epoch;
+  s.replayed = victim.replay_applied;
+  return s;
+}
+
+template <int K>
+Sample run_recovery_child_k(int nranks) {
+  return run_recovery_child(nranks, K);
+}
+
 /// Forks, runs `fn(nranks)` in the child, and reads the Sample back through
 /// a pipe. A child that crashes or fails verification aborts the sweep —
 /// scale without correctness is not a result.
@@ -190,6 +260,43 @@ void sweep(const char* app, Sample (*fn)(int),
   bench::print(t);
 }
 
+void recovery_sweep(int nranks, int nreps) {
+  Table t({"app", "ranks", "ckpt interval", "wall ms", "events", "Mevents/s",
+           "peak RSS MiB", "recovery us", "lost epochs", "replayed"});
+  struct Leg {
+    const char* app;
+    int interval;
+    Sample (*fn)(int);
+  };
+  const Leg legs[] = {{"recovery_k1", 1, run_recovery_child_k<1>},
+                      {"recovery_k2", 2, run_recovery_child_k<2>},
+                      {"recovery_k4", 4, run_recovery_child_k<4>},
+                      {"recovery_k8", 8, run_recovery_child_k<8>}};
+  for (const Leg& leg : legs) {
+    Sample best;
+    best.wall_ns = ~0ull;
+    for (int rep = 0; rep < nreps; ++rep) {
+      const Sample s = run_isolated(leg.fn, nranks);
+      if (s.wall_ns < best.wall_ns) best = s;
+    }
+    const double ms = static_cast<double>(best.wall_ns) / 1e6;
+    const double meps = static_cast<double>(best.events) /
+                        (static_cast<double>(best.wall_ns) / 1e3);
+    char wall[32], rate[32], rss[32], rec[32];
+    std::snprintf(wall, sizeof wall, "%.1f", ms);
+    std::snprintf(rate, sizeof rate, "%.2f", meps);
+    std::snprintf(rss, sizeof rss, "%.1f",
+                  static_cast<double>(best.peak_rss_kb) / 1024.0);
+    std::snprintf(rec, sizeof rec, "%.2f",
+                  static_cast<double>(best.recovery_ps) / 1e6);
+    t.add_row({leg.app, std::to_string(nranks), std::to_string(leg.interval),
+               wall, std::to_string(best.events), rate, rss, rec,
+               std::to_string(kFailEpoch - best.restored_epoch),
+               std::to_string(best.replayed)});
+  }
+  bench::print(t);
+}
+
 }  // namespace
 
 int main() {
@@ -207,5 +314,9 @@ int main() {
               "vs the aggregate stack (metrics + recorder + journal)");
   sweep("stencil_obs0", run_stencil_obs0_child, rank_counts, nreps);
   sweep("stencil_obs", run_stencil_obs_child, rank_counts, nreps);
+  bench::note("recovery_k*: notified stencil (64 rows x 2 cols/rank, 8 "
+              "iters) with a pinned fail-stop of rank n/2 at epoch 6; "
+              "recovery time vs checkpoint interval");
+  recovery_sweep(32, nreps);
   return 0;
 }

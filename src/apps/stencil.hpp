@@ -23,6 +23,7 @@
 #pragma once
 
 #include "core/world.hpp"
+#include "ft/params.hpp"
 
 namespace narma::apps {
 
@@ -47,6 +48,11 @@ struct StencilConfig {
   /// the host CPU (adds real jitter); a calibrated value keeps benchmark
   /// curves deterministic. The update itself always runs for verification.
   Time per_point = 0;
+  /// Fault-tolerant execution (DESIGN.md §15). When ft.enabled the run is
+  /// driven through a ft::RecoveryManager — kNotified variant only — with
+  /// one recovery epoch per iteration; otherwise this field is inert and
+  /// the run is byte-identical to the pre-ft build.
+  ft::FtParams ft;
 };
 
 /// Measures the host's stencil update cost (virtual ns per point), for use
@@ -59,6 +65,7 @@ struct StencilResult {
   Time elapsed = 0;            // virtual time, max over ranks
   double gmops = 0;            // billions of point updates per second
   bool verified = false;       // corner matches on rank 0
+  ft::FtStats ft;              // this rank's recovery stats (ft runs only)
 };
 
 /// Collective: every rank calls it; the returned timing is the allreduced

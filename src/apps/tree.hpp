@@ -13,6 +13,7 @@
 #pragma once
 
 #include "core/world.hpp"
+#include "ft/params.hpp"
 
 namespace narma::apps {
 
@@ -33,6 +34,9 @@ struct TreeConfig {
   int arity = 16;
   int reps = 1;  // back-to-back reductions (timed together)
   TreeVariant variant = TreeVariant::kNotified;
+  /// Fault-tolerant execution (DESIGN.md §15): one recovery epoch per
+  /// repetition, kNotified variant only. Inert when disabled.
+  ft::FtParams ft;
 };
 
 struct TreeResult {
@@ -40,6 +44,7 @@ struct TreeResult {
   double per_op_us = 0;   // average virtual microseconds per reduction
   bool verified = false;  // root checked the analytic sum
   double result0 = 0;     // first element of the final sum (root only)
+  ft::FtStats ft;         // this rank's recovery stats (ft runs only)
 };
 
 /// Collective. Rank r contributes the vector (r+1, r+1, ...); the root's

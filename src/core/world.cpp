@@ -47,6 +47,11 @@ WorldParams resolve_params(WorldParams p) {
   f.delay_rate = env::get_double("NARMA_FAULT_DELAY", f.delay_rate);
   f.stall_rate = env::get_double("NARMA_FAULT_STALL", f.stall_rate);
   f.pressure_rate = env::get_double("NARMA_FAULT_PRESSURE", f.pressure_rate);
+  // Fail-stop plan (DESIGN.md §15): consulted only by the ft layer at epoch
+  // boundaries, so these leave transfer timing untouched.
+  f.fail_rate = env::get_double("NARMA_FT_FAIL_RATE", f.fail_rate);
+  f.max_fails = static_cast<int>(
+      env::get_int("NARMA_FT_MAX_FAILS", f.max_fails));
   // Observability-mode overrides (DESIGN.md §14). Unknown NARMA_OBS values
   // keep the configured mode.
   const std::string om = env::get_string("NARMA_OBS", "");
@@ -157,6 +162,7 @@ void World::run(const std::function<void(Rank&)>& rank_main) {
   metrics_->counter("net.drops", 0).inc(fc.drops);
   metrics_->counter("net.credit_stalls", 0).inc(fc.credit_stalls);
   metrics_->counter("net.nic_stalls", 0).inc(fc.nic_stalls);
+  metrics_->counter("net.dead_drops", 0).inc(fc.dead_drops);
   // Engine-core wall-clock throughput and queue/pool occupancy: the
   // observability view of the simulator's own hot loop (events/sec is the
   // ceiling on every experiment above it).

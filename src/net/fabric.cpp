@@ -189,9 +189,16 @@ Time Fabric::reserve_transfer(int src, int dst, Time t_issue,
       // Queueing delay: how long the injection waited for the channel.
       m.queue_delay.record_time(start - issue);
     }
-    const bool final_attempt =
-        !f.drop || attempt >= params_.faults.max_retries;
-    if (final_attempt) {
+    // A drop plan that outlives the budget is fatal, like the other two
+    // bounded-retry paths — delivering the flight anyway would silently
+    // forgive the loss the seed asked for.
+    NARMA_CHECK(!f.drop || attempt < params_.faults.max_retries)
+        << "retransmit retry budget exhausted after "
+        << params_.faults.max_retries << " retries: rank " << src << " -> "
+        << dst << " (" << bytes
+        << " B) — every flight of this transfer was dropped; lower "
+           "FaultParams::drop_rate or raise FaultParams::max_retries";
+    if (!f.drop) {
       // Channel-stage hops only for the flight that actually arrives; the
       // dropped flights are summarized by their kRetry hops.
       if (msg && msgtrace_) {

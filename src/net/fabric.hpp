@@ -173,6 +173,35 @@ class Fabric {
   /// Sender-side delivery-queue credits (inert under OverflowPolicy::kFatal).
   FlowControl& flow() { return *flow_; }
 
+  // --- Fail-stop rank state (ft layer; DESIGN.md §15) ----------------------
+  //
+  // A failed rank's channels stay priced (the wire does not know the host
+  // died) but deliveries into it are swallowed by the NIC as dead drops
+  // instead of aborting on an unconsumed queue. The fast path is one integer
+  // compare: with no rank ever down, rank_up() never touches the flag array,
+  // so fault-free runs stay bit-identical and branch-predictable.
+
+  /// False only while `r` is marked failed.
+  bool rank_up(int r) const {
+    return down_count_ == 0 || !rank_down_[static_cast<std::size_t>(r)];
+  }
+
+  void set_rank_down(int r) {
+    if (rank_down_.empty())
+      rank_down_.assign(static_cast<std::size_t>(nranks()), 0);
+    if (!rank_down_[static_cast<std::size_t>(r)]) {
+      rank_down_[static_cast<std::size_t>(r)] = 1;
+      ++down_count_;
+    }
+  }
+
+  void set_rank_up(int r) {
+    if (!rank_down_.empty() && rank_down_[static_cast<std::size_t>(r)]) {
+      rank_down_[static_cast<std::size_t>(r)] = 0;
+      --down_count_;
+    }
+  }
+
   /// Optional tracer; nullptr (default) disables all recording.
   sim::Tracer* tracer() const { return tracer_; }
   void set_tracer(sim::Tracer* t) { tracer_ = t; }
@@ -262,6 +291,8 @@ class Fabric {
   obs::Profiler* profiler_ = nullptr;
   obs::Journal* journal_ = nullptr;
   std::vector<RankNetMetrics> rank_metrics_;  // one per rank; empty if off
+  std::vector<std::uint8_t> rank_down_;  // lazily sized on first failure
+  int down_count_ = 0;
 };
 
 }  // namespace narma::net

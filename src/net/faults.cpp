@@ -23,15 +23,20 @@ FaultInjector::FaultInjector(const FaultParams& params, int nranks)
   NARMA_CHECK(params_.drop_rate >= 0 && params_.drop_rate <= 1 &&
               params_.delay_rate >= 0 && params_.delay_rate <= 1 &&
               params_.stall_rate >= 0 && params_.stall_rate <= 1 &&
-              params_.pressure_rate >= 0 && params_.pressure_rate <= 1)
+              params_.pressure_rate >= 0 && params_.pressure_rate <= 1 &&
+              params_.fail_rate >= 0 && params_.fail_rate <= 1)
       << "FaultParams rates must lie in [0, 1]";
   NARMA_CHECK(params_.max_retries > 0) << "FaultParams::max_retries";
+  // The jitter magnitude formula below computes delay_max - 1 in unsigned
+  // Time arithmetic; delay_max == 0 would wrap to an astronomical delay.
+  NARMA_CHECK(params_.delay_rate == 0 || params_.delay_max >= 1)
+      << "FaultParams::delay_max must be >= 1 when delay_rate > 0";
   transfer_seq_.assign(static_cast<std::size_t>(nranks), 0);
   pressure_seq_.assign(static_cast<std::size_t>(nranks), 0);
 }
 
 double FaultInjector::uniform(std::uint64_t rank, std::uint64_t seq,
-                              std::uint64_t salt) {
+                              std::uint64_t salt) const {
   // Three rounds of mixing keep the (seed, rank, seq, salt) coordinates from
   // interacting linearly; 53 bits -> uniform double in [0, 1).
   const std::uint64_t h =
@@ -63,6 +68,12 @@ bool FaultInjector::next_pressure(int rank) {
   return uniform(r, pressure_seq_[r]++, 4) < params_.pressure_rate;
 }
 
+bool FaultInjector::fail_draw(int rank, std::uint64_t epoch) const {
+  if (params_.fail_rate <= 0) return false;
+  return uniform(static_cast<std::uint64_t>(rank), epoch, 5) <
+         params_.fail_rate;
+}
+
 FlowControl::FlowControl(const FaultParams& params, int nranks,
                          std::array<std::size_t, kNumQueues> caps)
     : active_(params.overflow_policy == OverflowPolicy::kBackpressure),
@@ -89,7 +100,8 @@ void FlowControl::release(int dst, Queue q, std::size_t n, sim::Engine& eng,
   NARMA_CHECK(f >= n) << "flow-control credit underflow at rank " << dst
                       << " queue " << static_cast<int>(q);
   f -= n;
-  triggers_[static_cast<std::size_t>(dst)].notify(eng, t);
+  triggers_[static_cast<std::size_t>(dst)][static_cast<std::size_t>(q)]
+      .notify(eng, t);
 }
 
 }  // namespace narma::net

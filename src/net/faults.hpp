@@ -58,9 +58,19 @@ class FaultInjector {
   /// under the backpressure policy.
   bool next_pressure(int rank);
 
+  /// Whole-rank fail-stop draw: true when `rank` is scheduled to fail at
+  /// the end of `epoch`. Pure function of (seed, rank, epoch) — stateless,
+  /// unlike the per-transfer draws — so every rank can evaluate every other
+  /// rank's plan without communication. That models a perfect failure
+  /// detector: all survivors agree on who died and when, for free. The ft
+  /// layer consults this at epoch boundaries; the transfer machinery never
+  /// does, so a nonzero fail_rate alone leaves per-message timing untouched.
+  bool fail_draw(int rank, std::uint64_t epoch) const;
+
  private:
   /// Uniform double in [0, 1) from the counter-based hash.
-  double uniform(std::uint64_t rank, std::uint64_t seq, std::uint64_t salt);
+  double uniform(std::uint64_t rank, std::uint64_t seq,
+                 std::uint64_t salt) const;
 
   FaultParams params_;
   bool enabled_;
@@ -86,13 +96,17 @@ class FlowControl {
   /// Takes one credit for queue `q` at `dst`; false when none are free.
   bool try_acquire(int dst, Queue q);
 
-  /// Returns `n` credits and wakes senders blocked on `dst` at time `t`.
+  /// Returns `n` credits and wakes senders blocked on (`dst`, `q`) at `t`.
   void release(int dst, Queue q, std::size_t n, sim::Engine& eng, Time t);
 
-  /// Senders block on this (one per destination rank) between acquisition
-  /// attempts; any credit release at the destination notifies it.
-  sim::Trigger& trigger(int dst) {
-    return triggers_[static_cast<std::size_t>(dst)];
+  /// Senders block on this (one per destination rank *and queue*) between
+  /// acquisition attempts; only a credit release for that same queue
+  /// notifies it. A single per-destination trigger used to wake senders
+  /// blocked on any of the three queues whenever one of them drained,
+  /// burning bounded-retry attempts on credits that were never freed.
+  sim::Trigger& trigger(int dst, Queue q) {
+    return triggers_[static_cast<std::size_t>(dst)]
+                    [static_cast<std::size_t>(q)];
   }
 
   std::size_t in_flight(int dst, Queue q) const {
@@ -106,8 +120,8 @@ class FlowControl {
  private:
   bool active_;
   std::array<std::size_t, kNumQueues> caps_;
-  std::vector<std::array<std::size_t, kNumQueues>> in_flight_;  // per dst
-  std::vector<sim::Trigger> triggers_;                          // per dst
+  std::vector<std::array<std::size_t, kNumQueues>> in_flight_;   // per dst
+  std::vector<std::array<sim::Trigger, kNumQueues>> triggers_;   // per dst
 };
 
 }  // namespace narma::net

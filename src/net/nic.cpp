@@ -221,9 +221,14 @@ void Nic::drain_spill(RingBuffer<T>& q, Spill<T>& sp, const char* what,
     // retry with bounded exponential backoff.
     ++fabric_.counters().retries;
     ++sp.head_failures;
-    NARMA_CHECK(sp.head_failures <= fabric_.params().faults.max_retries)
-        << what << " redelivery retry budget exhausted at rank " << rank()
-        << ": depth " << q.size() << " of capacity " << q.capacity()
+    // head_failures counts failed *retries* (the refused first delivery was
+    // charged in graceful_deliver); `<` keeps this path's attempt count
+    // identical to the credit-stall path below — fatal when the
+    // max_retries-th retry also finds no slot.
+    NARMA_CHECK(sp.head_failures < fabric_.params().faults.max_retries)
+        << what << " redelivery retry budget exhausted after "
+        << fabric_.params().faults.max_retries << " retries at rank "
+        << rank() << ": depth " << q.size() << " of capacity " << q.capacity()
         << " — the consumer is not draining; raise the queue capacity or "
            "FaultParams::max_retries";
     if (head.msg)
@@ -246,12 +251,12 @@ void Nic::acquire_credit(int target, FlowControl::Queue q, std::uint64_t msg) {
   for (;;) {
     ++fabric_.counters().credit_stalls;
     NARMA_CHECK(attempt < fp.max_retries)
-        << "credit-stall retry budget exhausted: rank " << rank() << " -> "
-        << target << " (" << fc.in_flight(target, q) << " of "
-        << fc.capacity(q)
+        << "credit-stall retry budget exhausted after " << fp.max_retries
+        << " retries: rank " << rank() << " -> " << target << " ("
+        << fc.in_flight(target, q) << " of " << fc.capacity(q)
         << " slots in flight) — the consumer is not draining; raise the "
            "destination queue capacity or FaultParams::max_retries";
-    ctx_.wait_deadline(fc.trigger(target), ctx_.now() + fp.backoff(attempt),
+    ctx_.wait_deadline(fc.trigger(target, q), ctx_.now() + fp.backoff(attempt),
                        "net-credit-stall");
     ctx_.drain();
     ++attempt;
@@ -269,7 +274,21 @@ void Nic::acquire_credit(int target, FlowControl::Queue q, std::uint64_t msg) {
       mt->hop(msg, rank(), obs::HopKind::kRetry, ctx_.now());
 }
 
+bool Nic::drop_if_dead(FlowControl::Queue q, Time t) {
+  if (fabric_.rank_up(rank())) return false;
+  // Delivery into a failed rank: the payload evaporates (the rank's memory
+  // is gone) instead of aborting the fabric. The sender's hardware ack still
+  // fires — the wire delivered, the host died — so source-side flushes
+  // complete, and the queue-slot credit the sender reserved is returned
+  // (a no-op under the fatal policy) so survivors are never throttled by a
+  // corpse. The ft layer replays the lost notifications from peer logs.
+  ++fabric_.counters().dead_drops;
+  fabric_.flow().release(rank(), q, 1, fabric_.engine(), t);
+  return true;
+}
+
 void Nic::push_cqe(const Cqe& cqe) {
+  if (drop_if_dead(FlowControl::Queue::kDestCq, cqe.time)) return;
   // Backends that own their overflow behavior (RAMC, verbs — see
   // NotifyCosts::graceful_overflow) absorb a full CQ through the spill +
   // bounded-retry path even under the global fatal policy; the uGNI-style
@@ -290,6 +309,7 @@ void Nic::push_cqe(const Cqe& cqe) {
 }
 
 void Nic::push_shm(const ShmNotification& n) {
+  if (drop_if_dead(FlowControl::Queue::kShmRing, n.time)) return;
   if (fabric_.flow().active()) {
     graceful_deliver(n, shm_ring_, spill_shm_, "shm notification ring");
     return;
@@ -305,6 +325,7 @@ void Nic::push_shm(const ShmNotification& n) {
 }
 
 void Nic::push_msg(NetMsg msg) {
+  if (drop_if_dead(FlowControl::Queue::kMailbox, msg.time)) return;
   if (fabric_.flow().active()) {
     if (delivery_hook_) {
       const std::uint64_t mid = msg.msg;

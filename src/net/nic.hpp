@@ -216,6 +216,11 @@ class Nic {
   void push_cqe(const Cqe& cqe);
   void push_shm(const ShmNotification& n);
   void push_msg(NetMsg msg);
+
+  /// True (and the delivery is swallowed) when this rank is marked failed:
+  /// the entry is counted as a dead drop and its queue-slot credit returned
+  /// to the senders instead of aborting on an unconsumed queue.
+  bool drop_if_dead(FlowControl::Queue q, Time t);
   void post_ack(int origin, Time deliver_time, Transport transport,
                 PendingOps* pending);
 

@@ -128,11 +128,23 @@ struct FaultParams {
   /// fault-laden fatal-policy run does not die on a synthetic overflow.
   double pressure_rate = 0.0;
 
+  /// Probability that a rank fail-stops at an epoch boundary (drawn per
+  /// (rank, epoch) by FaultInjector::fail_draw; consulted only by the ft
+  /// layer at RecoveryManager::end_epoch, never by the transfer machinery,
+  /// so it does not count toward any_faults() and leaves message timing
+  /// bit-identical). At most `max_fails` failures fire per run.
+  double fail_rate = 0.0;
+  int max_fails = 1;
+
   OverflowPolicy overflow_policy = OverflowPolicy::kFatal;
 
-  /// Retry budget per operation (queue redeliveries, credit stalls,
-  /// retransmits). Exhaustion is fatal with full diagnostics — backpressure
-  /// degrades gracefully but never hangs silently.
+  /// Retry budget: the number of *retry* attempts allowed after an
+  /// operation's initial failure, on every bounded-retry path — queue
+  /// redeliveries, credit stalls, and drop retransmits all count attempts
+  /// the same way. The budget exhausts fatally (with full diagnostics) when
+  /// the final retry also fails: backpressure degrades gracefully but never
+  /// hangs silently, and a drop plan that outlives the budget is reported,
+  /// not silently forgiven.
   int max_retries = 1000;
   Time backoff_base = us(1);
   Time backoff_max = ms(1);

@@ -153,6 +153,7 @@ struct FabricCounters {
   std::uint64_t drops = 0;          // injected transfer drops (retransmitted)
   std::uint64_t credit_stalls = 0;  // sender waits for delivery-queue credit
   std::uint64_t nic_stalls = 0;     // injected transient NIC stalls
+  std::uint64_t dead_drops = 0;     // deliveries swallowed by a failed rank
 };
 
 }  // namespace narma::net

@@ -23,6 +23,14 @@ const char* to_string(JournalKind k) {
       return "straggler";
     case JournalKind::kResidual:
       return "residual";
+    case JournalKind::kRankFail:
+      return "rank_fail";
+    case JournalKind::kRankRejoin:
+      return "rank_rejoin";
+    case JournalKind::kCkptEpoch:
+      return "ckpt_epoch";
+    case JournalKind::kReplay:
+      return "replay";
   }
   return "?";
 }
@@ -99,6 +107,30 @@ std::string Journal::detail(const Record& r) {
       std::snprintf(buf, sizeof buf,
                     "window %d residual %llu ps over model %llu ps", r.peer,
                     static_cast<unsigned long long>(r.a),
+                    static_cast<unsigned long long>(r.b));
+      break;
+    case JournalKind::kRankFail:
+      std::snprintf(buf, sizeof buf, "rank failed at end of epoch %llu",
+                    static_cast<unsigned long long>(r.a));
+      break;
+    case JournalKind::kRankRejoin:
+      std::snprintf(buf, sizeof buf,
+                    "rank rejoined from partner %d at epoch %llu "
+                    "(outage %llu ps)",
+                    r.peer, static_cast<unsigned long long>(r.a),
+                    static_cast<unsigned long long>(r.b));
+      break;
+    case JournalKind::kCkptEpoch:
+      std::snprintf(buf, sizeof buf,
+                    "checkpointed epoch %llu to partner %d (%llu B)",
+                    static_cast<unsigned long long>(r.a), r.peer,
+                    static_cast<unsigned long long>(r.b));
+      break;
+    case JournalKind::kReplay:
+      std::snprintf(buf, sizeof buf,
+                    "replayed %llu logged notifications from rank %d "
+                    "(%llu deduped)",
+                    static_cast<unsigned long long>(r.a), r.peer,
                     static_cast<unsigned long long>(r.b));
       break;
     default:

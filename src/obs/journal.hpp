@@ -40,6 +40,12 @@ enum class JournalKind : std::uint8_t {
   kStraggler,       // flight-recorder straggler; a=busy ppm, b=median ppm
   kResidual,        // model residual;         peer=window, a=residual_ps,
                     //                         b=model_ps, aux=backend kind
+  kRankFail,        // fail-stop fired;        a=epoch
+  kRankRejoin,      // rank back up;           peer=ckpt partner,
+                    //                         a=restored epoch, b=outage_ps
+  kCkptEpoch,       // checkpoint taken;       peer=partner, a=epoch, b=bytes
+  kReplay,          // log replay at rejoin;   peer=log source, a=applied,
+                    //                         b=deduped
 };
 
 const char* to_string(JournalKind k);

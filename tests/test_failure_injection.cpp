@@ -16,6 +16,7 @@
 
 #include "common/rng.hpp"
 #include "core/world.hpp"
+#include "net/faults.hpp"
 
 using namespace narma;
 
@@ -409,4 +410,225 @@ TEST(FailureInjection, FaultFreeSchedulesAreBitIdentical) {
     ASSERT_EQ(a, b) << "trial " << trial << " nops=" << nops
                     << " bytes=" << bytes;
   }
+}
+
+// --- Fault-parameter validation ----------------------------------------------
+
+TEST(FailureInjection, DelayRateWithZeroDelayMaxAborts) {
+  // Regression: the jitter magnitude formula computes delay_max - 1 in
+  // unsigned Time arithmetic; with delay_rate > 0 and delay_max == 0 a
+  // drawn delay used to wrap to an astronomical value. The config is now
+  // rejected at construction.
+  WorldParams wp;
+  wp.fabric.faults.delay_rate = 0.5;
+  wp.fabric.faults.delay_max = 0;
+  EXPECT_DEATH({ World world(2, wp); }, "delay_max must be >= 1");
+}
+
+// --- Retry-budget parity (redelivery vs credit stall vs retransmit) ----------
+//
+// FaultParams::max_retries is the number of *retry* attempts after the first
+// failure, on all three bounded-retry paths. The redelivery path used to
+// allow one more attempt than the other two (`<=` vs `<`); these death tests
+// pin the unified budget, down to the count in the message.
+
+TEST(FailureInjection, RedeliveryRetryBudgetExhaustionIsFatal) {
+  // Spill + redelivery runs when flow control is inactive (default kFatal
+  // policy) but the backend absorbs overflow gracefully — RAMC here. The
+  // consumer sleeps far past the whole backoff budget, so the spilled head
+  // entry fails all of its retries.
+  WorldParams wp;
+  wp.fabric.inter_node = net::BackendKind::kRamc;
+  wp.fabric.dest_cq_capacity = 8;
+  wp.fabric.faults.max_retries = 3;
+  EXPECT_DEATH(
+      {
+        World world(2, wp);
+        world.run([](Rank& self) {
+          auto win = self.win_allocate(8, 1);
+          if (self.id() == 0) {
+            for (int i = 0; i < 32; ++i)
+              self.na().put_notify(*win, na::as_bytes(nullptr, 0), 1, 0, 1);
+            win->flush(1);
+          } else {
+            self.ctx().yield_until(ms(10), "sleep");
+          }
+          self.barrier();
+        });
+      },
+      "redelivery retry budget exhausted after 3 retries");
+}
+
+TEST(FailureInjection, CreditStallRetryBudgetExhaustionIsFatal) {
+  // The same traffic under backpressure exhausts the sender-side credit
+  // budget instead — with the identical attempt count.
+  WorldParams wp = backpressure_params();
+  wp.fabric.dest_cq_capacity = 8;
+  wp.fabric.faults.max_retries = 3;
+  EXPECT_DEATH(
+      {
+        World world(2, wp);
+        world.run([](Rank& self) {
+          auto win = self.win_allocate(8, 1);
+          if (self.id() == 0) {
+            for (int i = 0; i < 32; ++i)
+              self.na().put_notify(*win, na::as_bytes(nullptr, 0), 1, 0, 1);
+            win->flush(1);
+          } else {
+            self.ctx().yield_until(ms(10), "sleep");
+          }
+          self.barrier();
+        });
+      },
+      "credit-stall retry budget exhausted after 3 retries");
+}
+
+TEST(FailureInjection, DropRateOneExhaustsRetryBudget) {
+  // drop_rate == 1.0 names a plan where every flight of every transfer is
+  // dropped; the retransmit loop must hit its budget deterministically, not
+  // spin forever.
+  WorldParams wp;
+  wp.fabric.faults.drop_rate = 1.0;
+  wp.fabric.faults.max_retries = 3;
+  EXPECT_DEATH(
+      {
+        World world(2, wp);
+        world.run([](Rank& self) {
+          auto win = self.win_allocate(64, 1);
+          if (self.id() == 0) {
+            double v = 1.0;
+            self.na().put_notify(*win, na::as_bytes(&v, sizeof v), 1, 0, 1);
+            win->flush(1);
+          }
+          self.barrier();
+        });
+      },
+      "retransmit retry budget exhausted after 3 retries");
+}
+
+// --- Per-queue credit triggers -----------------------------------------------
+
+TEST(FailureInjection, MailboxSenderSurvivesHeavyDestCqTraffic) {
+  // Regression for the spurious-wakeup churn: credit releases used to
+  // notify a single per-destination trigger, so a sender blocked on
+  // kMailbox credits was woken by every kDestCq drain at the same
+  // destination, burning a bounded-retry attempt on a credit class that
+  // never freed. Rank 0 blocks on mailbox credits to rank 1 while rank 2
+  // blasts notified puts that rank 1 actively drains; with the old shared
+  // trigger the CQ releases exhaust rank 0's small budget in a few
+  // microseconds, with per-(dst, queue) triggers rank 0 sleeps through its
+  // deadline schedule until the mailbox actually drains.
+  WorldParams wp = backpressure_params();
+  wp.fabric.mailbox_capacity = 4;
+  wp.fabric.faults.max_retries = 12;
+  World world(3, wp);
+  world.run([](Rank& self) {
+    auto win = self.win_allocate(64, 1);
+    if (self.id() == 0) {
+      int v = 7;
+      for (int i = 0; i < 8; ++i) self.send(&v, 4, 1, 1);
+    } else if (self.id() == 2) {
+      for (int i = 0; i < 256; ++i)
+        self.na().put_notify(*win, na::as_bytes(nullptr, 0), 1, 0, 2);
+      win->flush(1);
+    } else {
+      // Drain the CQ storm first (a release per consumed notification),
+      // only then the mailbox.
+      auto req = self.na().notify_init(*win, na::MatchSpec{2, 2}, 256);
+      self.na().start(req);
+      self.na().wait(req);
+      int v = 0;
+      for (int i = 0; i < 8; ++i) self.recv(&v, 4, 0, 1);
+      EXPECT_EQ(v, 7);
+    }
+    self.barrier();
+  });
+  EXPECT_GT(world.fabric().counters().credit_stalls, 0u);
+}
+
+// --- Fault-draw edge rates and independence ----------------------------------
+
+namespace {
+
+/// Two ranks, 16 notified puts, returns both ranks' final virtual times.
+std::pair<Time, Time> run_jittered_pair(std::uint64_t seed, double delay_rate,
+                                        Time delay_max) {
+  WorldParams wp;
+  wp.fabric.faults.seed = seed;
+  wp.fabric.faults.delay_rate = delay_rate;
+  wp.fabric.faults.delay_max = delay_max;
+  World world(2, wp);
+  world.run([](Rank& self) {
+    auto win = self.win_allocate(256, 1);
+    if (self.id() == 0) {
+      std::vector<std::byte> buf(128, std::byte{0x2b});
+      for (int i = 0; i < 16; ++i)
+        self.na().put_notify(*win, na::as_bytes(buf.data(), buf.size()), 1, 0, 1);
+      win->flush(1);
+    } else {
+      auto req = self.na().notify_init(*win, na::MatchSpec{0, 1}, 16);
+      self.na().start(req);
+      self.na().wait(req);
+    }
+    self.barrier();
+  });
+  return {world.engine().rank(0).now(), world.engine().rank(1).now()};
+}
+
+}  // namespace
+
+TEST(FailureInjection, DelayMaxOneJitterIsExactlyOne) {
+  // With delay_rate == 1.0 the jitter gate fires for every transfer
+  // regardless of the drawn uniform, and with delay_max == 1 the magnitude
+  // formula collapses to exactly 1 ps — so the whole schedule is
+  // independent of the seed, and sits strictly after the fault-free one.
+  const auto base = run_jittered_pair(1, 0.0, us(2));
+  const auto a = run_jittered_pair(1, 1.0, 1);
+  const auto b = run_jittered_pair(999, 1.0, 1);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.first, base.first);
+  EXPECT_GT(a.second, base.second);
+}
+
+TEST(FailureInjection, PerRankDrawsAreIndependent) {
+  // The fault plan is counter-based per rank: interleaving another rank's
+  // draws must not shift a rank's own sequence (no shared RNG stream).
+  net::FaultParams fp;
+  fp.seed = 77;
+  fp.drop_rate = 0.3;
+  fp.delay_rate = 0.3;
+  fp.stall_rate = 0.3;
+  fp.pressure_rate = 0.3;
+  net::FaultInjector a(fp, 2);
+  net::FaultInjector b(fp, 2);
+  for (int i = 0; i < 64; ++i) {
+    const auto fa = a.next_transfer(0);
+    (void)b.next_transfer(1);  // interleaved rank-1 draws, absent in `a`
+    (void)b.next_pressure(1);
+    const auto fb = b.next_transfer(0);
+    ASSERT_EQ(fa.drop, fb.drop) << "draw " << i;
+    ASSERT_EQ(fa.extra_delay, fb.extra_delay) << "draw " << i;
+    ASSERT_EQ(fa.stall, fb.stall) << "draw " << i;
+  }
+
+  // fail_draw is stateless: re-evaluation is free of side effects on the
+  // per-transfer sequences, repeatable, and varies with (rank, epoch).
+  fp.fail_rate = 0.5;
+  net::FaultInjector c(fp, 8);
+  net::FaultInjector d(fp, 8);
+  (void)c.next_transfer(0);
+  (void)d.next_transfer(0);
+  bool varies = false;
+  for (int r = 0; r < 8; ++r)
+    for (std::uint64_t e = 0; e < 16; ++e) {
+      ASSERT_EQ(c.fail_draw(r, e), c.fail_draw(r, e));
+      ASSERT_EQ(c.fail_draw(r, e), d.fail_draw(r, e));
+      varies = varies || c.fail_draw(r, e) != c.fail_draw(0, 0);
+    }
+  EXPECT_TRUE(varies);  // rate 0.5 over 128 coordinates: both outcomes occur
+  const auto f1 = c.next_transfer(0);
+  const auto f2 = d.next_transfer(0);
+  EXPECT_EQ(f1.drop, f2.drop);
+  EXPECT_EQ(f1.extra_delay, f2.extra_delay);
+  EXPECT_EQ(f1.stall, f2.stall);
 }

@@ -17,6 +17,7 @@
 #include <cmath>
 #include <cstring>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -73,9 +74,9 @@ int usage() {
       "  pingpong  --scheme=na|mp|os --ranks=N --bytes=B --reps=R\n"
       "            [--intranode]\n"
       "  stencil   --variant=na|mp|fence|pscw --ranks=N --rows=R --cols=C\n"
-      "            --iters=I\n"
+      "            --iters=I [--ft ...]\n"
       "  tree      --variant=na|mp|pscw|vendor --ranks=N --arity=K\n"
-      "            --elems=E --reps=R\n"
+      "            --elems=E --reps=R [--ft ...]\n"
       "  cholesky  --variant=na|mp|os --ranks=N --nt=T --b=B [--gflops=G]\n"
       "  report    [--trace=FILE] [--metrics=FILE] [--top=N]\n"
       "            summarize a recorded run: per-category virtual time\n"
@@ -115,7 +116,20 @@ int usage() {
       "                               + top-k outliers + sampled ranks\n"
       "            [--obs-shards=N] [--obs-outlier-k=N]\n"
       "            [--obs-sample-ranks=N] [--obs-gauge-rank-limit=N]\n"
-      "            [--journal-cap=N]  aggregate-mode / journal knobs\n",
+      "            [--journal-cap=N]  aggregate-mode / journal knobs\n"
+      "\n"
+      "fault tolerance (stencil + tree, NotifiedAccess variant only):\n"
+      "            [--ft]                   run through the recovery manager\n"
+      "            [--ft-fail-rate=R]       per-(rank,epoch) fail-stop rate\n"
+      "            [--ft-max-fails=N]       fail-stop budget (default 1)\n"
+      "            [--ft-interval=E]        checkpoint every E epochs\n"
+      "            [--ft-partner-offset=K]  checkpoint partner (rank+K)%%n\n"
+      "            [--ft-restart-us=T]      victim downtime before rejoin\n"
+      "            [--ft-min-fail-epoch=E]  earliest epoch the plan fires\n"
+      "            [--ft-log-cap=N]         notification-log bound per rank\n"
+      "            [--ft-no-trim]           keep logs across checkpoints\n"
+      "            [--ft-no-recover]        victims stay down (crash mode)\n"
+      "            env NARMA_FT_* overrides any of these (see README)\n",
       stderr);
   return 2;
 }
@@ -158,6 +172,50 @@ void apply_obs_params(WorldParams& wp, const Args& a) {
   if (a.kv.count("journal-cap"))
     wp.obs.journal_capacity =
         static_cast<std::size_t>(std::max(0L, a.get("journal-cap", 0)));
+}
+
+/// Applies the --ft* flags onto an app's recovery params (and the fail plan
+/// onto the world's fault params), then layers the NARMA_FT_* env on top —
+/// the same flags-then-env precedence every other knob here follows.
+/// Returns whether the ft driver is enabled.
+bool apply_ft(WorldParams& wp, ft::FtParams& p, const Args& a) {
+  if (a.kv.count("ft")) p.enabled = true;
+  if (a.kv.count("ft-interval"))
+    p.ckpt_interval = static_cast<int>(a.get("ft-interval", 0));
+  if (a.kv.count("ft-partner-offset"))
+    p.partner_offset = static_cast<int>(a.get("ft-partner-offset", 0));
+  if (a.kv.count("ft-restart-us"))
+    p.restart = us(static_cast<double>(a.get("ft-restart-us", 0)));
+  if (a.kv.count("ft-min-fail-epoch"))
+    p.min_fail_epoch =
+        static_cast<std::uint64_t>(a.get("ft-min-fail-epoch", 0));
+  if (a.kv.count("ft-log-cap"))
+    p.log_capacity = static_cast<std::size_t>(a.get("ft-log-cap", 0));
+  if (a.kv.count("ft-no-trim")) p.eager_trim = false;
+  if (a.kv.count("ft-no-recover")) p.recover = false;
+  if (a.kv.count("ft-fail-rate"))
+    wp.fabric.faults.fail_rate = std::stod(a.get("ft-fail-rate", "0"));
+  if (a.kv.count("ft-max-fails"))
+    wp.fabric.faults.max_fails = static_cast<int>(a.get("ft-max-fails", 1));
+  p = ft::FtParams::from_env(p);
+  return p.enabled;
+}
+
+/// One-line recovery summary after an ft run: the victim's stats carry the
+/// recovery time, any rank's carry the plan-wide victim/checkpoint view.
+void print_ft_summary(const char* app, const ft::FtStats& victim,
+                      const ft::FtStats& rank0) {
+  const ft::FtStats& s = victim.fails > 0 ? victim : rank0;
+  std::printf(
+      "%s-ft fails=%llu victim=%d restored_epoch=%llu recovery_us=%.2f "
+      "ckpts=%llu ckpt_kib=%.1f replay=%llu dupes=%llu\n",
+      app, static_cast<unsigned long long>(s.fails), s.victim,
+      static_cast<unsigned long long>(s.restored_epoch),
+      to_us(s.recovery_time),
+      static_cast<unsigned long long>(rank0.ckpts),
+      static_cast<double>(rank0.ckpt_bytes) / 1024.0,
+      static_cast<unsigned long long>(s.replay_applied),
+      static_cast<unsigned long long>(s.replay_dupes));
 }
 
 /// Enables the observability sinks a run asked for (call before run()).
@@ -1264,17 +1322,23 @@ int run_stencil(const Args& a) {
   WorldParams wp;
   apply_transport(wp, a);
   apply_obs_params(wp, a);
+  const bool ft_on = apply_ft(wp, cfg.ft, a);
   World world(ranks, wp);
   enable_observability(world, a);
   apps::StencilResult res;
+  ft::FtStats victim;
+  std::mutex mu;  // rank bodies run concurrently under NARMA_EXEC=threads
   world.run([&](Rank& self) {
     const auto r = apps::run_stencil(self, cfg);
+    std::lock_guard<std::mutex> lock(mu);
     if (self.id() == 0) res = r;
+    if (r.ft.fails > 0) victim = r.ft;
   });
   std::printf(
       "stencil variant=%s ranks=%d rows=%d cols=%d gmops=%.4f verified=%s\n",
       v.c_str(), ranks, cfg.rows, cfg.total_cols, res.gmops,
       res.verified ? "yes" : "NO");
+  if (ft_on) print_ft_summary("stencil", victim, res.ft);
   dump_artifacts(world, a);
   return res.verified ? 0 : 1;
 }
@@ -1293,18 +1357,24 @@ int run_tree(const Args& a) {
   WorldParams wp;
   apply_transport(wp, a);
   apply_obs_params(wp, a);
+  const bool ft_on = apply_ft(wp, cfg.ft, a);
   World world(ranks, wp);
   enable_observability(world, a);
   apps::TreeResult res;
+  ft::FtStats victim;
+  std::mutex mu;  // rank bodies run concurrently under NARMA_EXEC=threads
   world.run([&](Rank& self) {
     const auto r = apps::run_tree(self, cfg);
+    std::lock_guard<std::mutex> lock(mu);
     if (self.id() == 0) res = r;
+    if (r.ft.fails > 0) victim = r.ft;
   });
   std::printf(
       "tree variant=%s ranks=%d arity=%d elems=%zu us_per_op=%.2f "
       "verified=%s\n",
       v.c_str(), ranks, cfg.arity, cfg.elems, res.per_op_us,
       res.verified ? "yes" : "NO");
+  if (ft_on) print_ft_summary("tree", victim, res.ft);
   dump_artifacts(world, a);
   return res.verified ? 0 : 1;
 }
